@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table1|table3|table4|fig6|fig7|fig9|all [-quick] [-seed N]
+//
+// -quick selects reduced-scale presets (minutes -> seconds); the default
+// presets run at the paper's dataset scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lamofinder/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1, table3, table4, fig6, fig7, fig8, fig9, all")
+	quick := flag.Bool("quick", false, "use reduced-scale presets")
+	seed := flag.Int64("seed", 0, "override dataset seed (0 = preset default)")
+	flag.Parse()
+
+	ok := false
+	runOne := func(name string, f func()) {
+		if *run != "all" && *run != name {
+			return
+		}
+		ok = true
+		start := time.Now()
+		f()
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	runOne("table1", func() { experiments.Table1().WriteText(os.Stdout) })
+	runOne("table3", func() { experiments.Table3().WriteText(os.Stdout) })
+	runOne("table4", func() { experiments.Table4().WriteText(os.Stdout) })
+	runOne("fig8", func() { experiments.Figure8().WriteText(os.Stdout) })
+	runOne("fig6", func() {
+		cfg := experiments.DefaultFigure6Config()
+		if *quick {
+			cfg = experiments.QuickFigure6Config()
+		}
+		if *seed != 0 {
+			cfg.Yeast.Seed = *seed
+		}
+		experiments.Figure6(cfg).WriteText(os.Stdout)
+	})
+	runOne("fig7", func() {
+		cfg := experiments.DefaultFigure7Config()
+		if *seed != 0 {
+			cfg.Yeast.Seed = *seed
+		}
+		experiments.Figure7(cfg).WriteText(os.Stdout)
+	})
+	runOne("fig9", func() {
+		cfg := experiments.DefaultFigure9Config()
+		if *quick {
+			cfg = experiments.QuickFigure9Config()
+		}
+		if *seed != 0 {
+			cfg.MIPS.Seed = *seed
+		}
+		experiments.Figure9(cfg).WriteText(os.Stdout)
+	})
+
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,135 @@
+// Command lamofinder runs the full pipeline — mine network motifs, test
+// them against a randomized null model, and label them with GO terms — on a
+// PPI edge list plus annotations, or on the built-in synthetic yeast
+// interactome when no files are given.
+//
+// Usage:
+//
+//	lamofinder [-edges ppi.tsv -obo go.obo -ann annotations.tsv]
+//	           [-minfreq N] [-maxsize K] [-sigma S] [-uniq U] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamofinder/internal/dataset"
+	"lamofinder/internal/graph"
+	"lamofinder/internal/label"
+	"lamofinder/internal/motif"
+	"lamofinder/internal/ontology"
+)
+
+func main() {
+	edges := flag.String("edges", "", "interaction edge list (protein pairs); empty = synthetic yeast")
+	obo := flag.String("obo", "", "GO ontology in OBO format (required with -edges)")
+	ann := flag.String("ann", "", "protein annotations (protein<TAB>term; required with -edges)")
+	minFreq := flag.Int("minfreq", 30, "motif frequency threshold")
+	maxSize := flag.Int("maxsize", 12, "maximum motif size")
+	sigma := flag.Int("sigma", 10, "labeled motif frequency threshold")
+	uniq := flag.Float64("uniq", 0.95, "uniqueness threshold")
+	nullNets := flag.Int("nullnets", 5, "randomized networks for the uniqueness test")
+	seed := flag.Int64("seed", 42, "seed for synthetic data and null model")
+	top := flag.Int("top", 20, "labeled motifs to print")
+	dictOut := flag.String("dict", "", "write the labeled motif dictionary (JSON lines) to this file")
+	dotOut := flag.String("dot", "", "write the top labeled motif as Graphviz DOT to this file")
+	flag.Parse()
+
+	var (
+		net    *graph.Graph
+		corpus *ontology.Corpus
+		o      *ontology.Ontology
+	)
+	if *edges != "" {
+		if *obo == "" || *ann == "" {
+			fatalf("-edges requires -obo and -ann")
+		}
+		ef, err := os.Open(*edges)
+		check(err)
+		defer ef.Close()
+		var names []string
+		net, names, err = dataset.LoadEdgeList(ef)
+		check(err)
+		of, err := os.Open(*obo)
+		check(err)
+		defer of.Close()
+		o, err = ontology.ParseOBO(of)
+		check(err)
+		af, err := os.Open(*ann)
+		check(err)
+		defer af.Close()
+		var skipped int
+		corpus, skipped, err = dataset.LoadAnnotations(af, o, names)
+		check(err)
+		fmt.Printf("loaded %d proteins, %d interactions, %d terms (%d annotations skipped)\n",
+			net.N(), net.M(), o.NumTerms(), skipped)
+	} else {
+		cfg := dataset.DefaultYeastConfig()
+		cfg.Seed = *seed
+		y := dataset.NewYeast(cfg)
+		net = y.Network
+		corpus = y.Corpora[dataset.Process]
+		o = corpus.Ontology()
+		fmt.Printf("synthetic yeast interactome: %d proteins, %d interactions, %d annotated\n",
+			net.N(), net.M(), corpus.NumAnnotated())
+	}
+
+	mineCfg := motif.DefaultConfig()
+	mineCfg.MinFreq = *minFreq
+	mineCfg.MaxSize = *maxSize
+	mineCfg.Seed = *seed
+	fmt.Printf("mining motifs (sizes %d..%d, min frequency %d)...\n",
+		mineCfg.MinSize, mineCfg.MaxSize, mineCfg.MinFreq)
+	motifs := motif.Find(net, mineCfg)
+	fmt.Printf("  %d pattern classes\n", len(motifs))
+
+	nullCfg := motif.DefaultUniquenessConfig()
+	nullCfg.Networks = *nullNets
+	nullCfg.Seed = *seed
+	fmt.Printf("uniqueness test against %d randomized networks...\n", nullCfg.Networks)
+	motif.ScoreUniqueness(net, motifs, nullCfg)
+	unique := motif.FilterUnique(motifs, *uniq)
+	fmt.Printf("  %d network motifs with uniqueness >= %.2f\n", len(unique), *uniq)
+
+	labCfg := label.DefaultConfig()
+	labCfg.Sigma = *sigma
+	fmt.Printf("labeling with LaMoFinder (sigma=%d)...\n", labCfg.Sigma)
+	labeler := label.NewLabeler(corpus, labCfg)
+	labeled := labeler.LabelAll(unique)
+	fmt.Printf("  %d labeled network motifs\n", len(labeled))
+
+	for i, lm := range labeled {
+		if i >= *top {
+			fmt.Printf("  ... and %d more\n", len(labeled)-*top)
+			break
+		}
+		fmt.Printf("  %s\n", lm.Describe(o))
+	}
+
+	if *dictOut != "" && len(labeled) > 0 {
+		f, err := os.Create(*dictOut)
+		check(err)
+		check(label.WriteMotifs(f, o, labeled))
+		check(f.Close())
+		fmt.Printf("dictionary written to %s\n", *dictOut)
+	}
+	if *dotOut != "" && len(labeled) > 0 {
+		f, err := os.Create(*dotOut)
+		check(err)
+		check(label.WriteDOT(f, o, labeled[0], "motif"))
+		check(f.Close())
+		fmt.Printf("DOT written to %s\n", *dotOut)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lamofinder: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module lamofinder
+
+go 1.22

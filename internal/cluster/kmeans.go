@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters n items into k groups over an abstract metric space given
+// by dist(i, j). Because the space has no coordinates, it uses the k-medoids
+// (PAM-style) variant: centers are items; each iteration reassigns items to
+// the closest medoid and re-centers each cluster on its minimum-total-
+// distance member. It returns the item->cluster assignment.
+//
+// The paper discusses k-means as the naive grouping strategy for occurrence
+// clustering (Section 3.2) and rejects it because non-overlapping clusters
+// miss valid labeling schemes; this implementation powers that comparison.
+func KMeans(n, k int, dist func(i, j int) float64, maxIter int, rng *rand.Rand) []int {
+	if k <= 0 || n == 0 {
+		return make([]int, n)
+	}
+	if k > n {
+		k = n
+	}
+	medoids := rng.Perm(n)[:k]
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bd := 0, math.Inf(1)
+			for c, m := range medoids {
+				if d := dist(i, m); d < bd {
+					bd, best = d, c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Re-center.
+		for c := range medoids {
+			bestM, bd := medoids[c], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				total := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						total += dist(i, j)
+					}
+				}
+				if total < bd {
+					bd, bestM = total, i
+				}
+			}
+			medoids[c] = bestM
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"lamofinder/internal/ontology"
+)
+
+// GAFOptions selects what to keep from a GO Annotation File.
+type GAFOptions struct {
+	// Aspect filters by GO branch: 'P' (process), 'F' (function),
+	// 'C' (component), or 0 for all.
+	Aspect byte
+	// UseSymbol matches proteins by column 3 (DB object symbol) instead of
+	// column 2 (DB object id).
+	UseSymbol bool
+}
+
+// LoadGAF reads a GO Annotation File (GAF 2.x: 17 tab-separated columns,
+// '!' comment lines) into a corpus over the given ontology and protein
+// name table. Rows with a NOT qualifier, an unknown protein, or an unknown
+// term are skipped and counted.
+func LoadGAF(r io.Reader, o *ontology.Ontology, names []string, opt GAFOptions) (*ontology.Corpus, int, error) {
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	c := ontology.NewCorpus(o, len(names))
+	skipped := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "!") {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) < 9 {
+			return nil, skipped, fmt.Errorf("gaf: line %d: %d columns, want >= 9", lineNo, len(cols))
+		}
+		// Column layout (1-based): 2 = DB object id, 3 = symbol,
+		// 4 = qualifier, 5 = GO id, 9 = aspect.
+		if strings.Contains(cols[3], "NOT") {
+			skipped++
+			continue
+		}
+		if opt.Aspect != 0 && (len(cols[8]) == 0 || cols[8][0] != opt.Aspect) {
+			skipped++
+			continue
+		}
+		name := cols[1]
+		if opt.UseSymbol {
+			name = cols[2]
+		}
+		p, okP := index[name]
+		t := o.Index(cols[4])
+		if !okP || t < 0 {
+			skipped++
+			continue
+		}
+		c.Annotate(p, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("gaf: %w", err)
+	}
+	return c, skipped, nil
+}

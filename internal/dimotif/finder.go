@@ -1,0 +1,312 @@
+package dimotif
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"lamofinder/internal/label"
+	"lamofinder/internal/motif"
+	"lamofinder/internal/ontology"
+)
+
+// Motif is a directed pattern with supporting occurrences (pattern vertex
+// order).
+type Motif struct {
+	Pattern     *DiDense
+	Occurrences [][]int32
+	Frequency   int
+	Uniqueness  float64
+}
+
+// Size returns the pattern's vertex count.
+func (m *Motif) Size() int { return m.Pattern.N() }
+
+// String summarizes the motif.
+func (m *Motif) String() string {
+	return fmt.Sprintf("dimotif%s freq=%d uniq=%.2f", m.Pattern, m.Frequency, m.Uniqueness)
+}
+
+// Find mines frequent weakly connected directed patterns level-by-level,
+// mirroring the undirected beam miner: occurrences are extended by one weak
+// neighbor, regrouped by directed isomorphism class, pruned by frequency,
+// and capped by beam width with reservoir-sampled occurrence lists.
+func Find(g *DiGraph, cfg motif.Config) []*Motif {
+	if cfg.MinSize < 2 {
+		cfg.MinSize = 2
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type classState struct {
+		pattern *DiDense
+		occs    [][]int32
+		freq    int
+	}
+	// Level 2: the two weak-edge classes (single arc u->v; mutual arcs).
+	lvl2 := map[int]*classState{}
+	cl2 := NewClassifier()
+	seen2 := map[[2]int32]bool{}
+	for u := 0; u < g.N(); u++ {
+		g.weakNeighbors(u, func(w int32) {
+			a, b := int32(u), w
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int32{a, b}
+			if seen2[key] {
+				return
+			}
+			seen2[key] = true
+			d := g.InducedDi([]int32{a, b})
+			id := cl2.Classify(d)
+			cs := lvl2[id]
+			if cs == nil {
+				cs = &classState{pattern: cl2.Rep(id)}
+				lvl2[id] = cs
+			}
+			cs.freq++
+			mp := vf2DirMap(cs.pattern, d)
+			pair := []int32{a, b}
+			occ := []int32{pair[mp[0]], pair[mp[1]]}
+			if cfg.MaxOccPerClass == 0 || len(cs.occs) < cfg.MaxOccPerClass {
+				cs.occs = append(cs.occs, occ)
+			} else if r := rng.Intn(cs.freq); r < cfg.MaxOccPerClass {
+				cs.occs[r] = occ
+			}
+		})
+	}
+	level := make([]*classState, 0, len(lvl2))
+	for _, cs := range lvl2 {
+		level = append(level, cs)
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i].freq > level[j].freq })
+
+	var out []*Motif
+	emit := func(cs *classState, size int) {
+		if size >= cfg.MinSize && cs.freq >= cfg.MinFreq {
+			out = append(out, &Motif{
+				Pattern:     cs.pattern,
+				Occurrences: cs.occs,
+				Frequency:   cs.freq,
+				Uniqueness:  -1,
+			})
+		}
+	}
+	if cfg.MinSize <= 2 {
+		for _, cs := range level {
+			emit(cs, 2)
+		}
+	}
+
+	for size := 3; size <= cfg.MaxSize && len(level) > 0; size++ {
+		cl := NewClassifier()
+		next := map[int]*classState{}
+		seenSets := map[string]bool{}
+		sortedOcc := make([]int32, 0, size)
+		keyBuf := make([]byte, 4*size)
+		vsBuf := make([]int32, size)
+		for _, cs := range level {
+			for _, occ := range cs.occs {
+				sortedOcc = append(sortedOcc[:0], occ...)
+				sort.Slice(sortedOcc, func(i, j int) bool { return sortedOcc[i] < sortedOcc[j] })
+				for _, v := range occ {
+					g.weakNeighbors(int(v), func(w int32) {
+						if contains32(occ, w) {
+							return
+						}
+						vs := vsBuf
+						pos := 0
+						for pos < len(sortedOcc) && sortedOcc[pos] < w {
+							vs[pos] = sortedOcc[pos]
+							pos++
+						}
+						vs[pos] = w
+						copy(vs[pos+1:], sortedOcc[pos:])
+						for i, x := range vs {
+							keyBuf[4*i] = byte(x)
+							keyBuf[4*i+1] = byte(x >> 8)
+							keyBuf[4*i+2] = byte(x >> 16)
+							keyBuf[4*i+3] = byte(x >> 24)
+						}
+						if seenSets[string(keyBuf)] {
+							return
+						}
+						seenSets[string(keyBuf)] = true
+						d := g.InducedDi(vs)
+						id := cl.Classify(d)
+						ns := next[id]
+						if ns == nil {
+							ns = &classState{pattern: cl.Rep(id)}
+							next[id] = ns
+						}
+						ns.freq++
+						slot := -1
+						if cfg.MaxOccPerClass == 0 || len(ns.occs) < cfg.MaxOccPerClass {
+							slot = len(ns.occs)
+							ns.occs = append(ns.occs, nil)
+						} else if r := rng.Intn(ns.freq); r < cfg.MaxOccPerClass {
+							slot = r
+						}
+						if slot >= 0 {
+							mp := vf2DirMap(ns.pattern, d)
+							no := make([]int32, len(vs))
+							for i := range vs {
+								no[i] = vs[mp[i]]
+							}
+							ns.occs[slot] = no
+						}
+					})
+				}
+			}
+		}
+		var kept []*classState
+		for _, ns := range next {
+			if ns.freq >= cfg.MinFreq {
+				kept = append(kept, ns)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool {
+			if kept[i].freq != kept[j].freq {
+				return kept[i].freq > kept[j].freq
+			}
+			return kept[i].pattern.String() < kept[j].pattern.String()
+		})
+		if cfg.BeamWidth > 0 && len(kept) > cfg.BeamWidth {
+			kept = kept[:cfg.BeamWidth]
+		}
+		for _, ns := range kept {
+			emit(ns, size)
+		}
+		level = kept
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() < out[j].Size()
+		}
+		return out[i].Frequency > out[j].Frequency
+	})
+	return out
+}
+
+func contains32(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ScoreUniqueness fills each motif's Uniqueness against in/out-degree-
+// preserving randomizations, with the same certification semantics as the
+// undirected version (count cap; zero-match budget exhaustion is a win).
+func ScoreUniqueness(g *DiGraph, motifs []*Motif, cfg motif.UniquenessConfig) {
+	if cfg.Networks <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wins := make([]int, len(motifs))
+	for r := 0; r < cfg.Networks; r++ {
+		rnet := g.Randomize(0, rng)
+		for i, m := range motifs {
+			limit := m.Frequency + 1
+			if cfg.CountCap > 0 && limit > cfg.CountCap {
+				limit = cfg.CountCap
+			}
+			cnt, exact := countDirUpTo(rnet, m.Pattern, limit, cfg.MaxSteps)
+			if !exact {
+				if cnt == 0 {
+					wins[i]++
+				}
+				continue
+			}
+			if cnt >= limit && limit <= m.Frequency {
+				continue
+			}
+			if cnt <= m.Frequency {
+				wins[i]++
+			}
+		}
+	}
+	for i, m := range motifs {
+		m.Uniqueness = float64(wins[i]) / float64(cfg.Networks)
+	}
+}
+
+// FilterUnique keeps motifs with uniqueness >= minUniq.
+func FilterUnique(ms []*Motif, minUniq float64) []*Motif {
+	var out []*Motif
+	for _, m := range ms {
+		if m.Uniqueness >= minUniq {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// LabeledMotif is a directed motif whose vertices carry GO label sets.
+type LabeledMotif struct {
+	Pattern     *DiDense
+	Labels      [][]int32
+	Occurrences [][]int32
+	Frequency   int
+	Uniqueness  float64
+}
+
+// Size returns the vertex count.
+func (lm *LabeledMotif) Size() int { return lm.Pattern.N() }
+
+// Describe renders the labeled motif against an ontology.
+func (lm *LabeledMotif) Describe(o *ontology.Ontology) string {
+	parts := []string{fmt.Sprintf("%s freq=%d uniq=%.2f", lm.Pattern, lm.Frequency, lm.Uniqueness)}
+	for v, ts := range lm.Labels {
+		if len(ts) == 0 {
+			parts = append(parts, fmt.Sprintf("v%d={unknown}", v))
+			continue
+		}
+		ids := make([]string, len(ts))
+		for i, t := range ts {
+			ids[i] = o.ID(int(t))
+		}
+		parts = append(parts, fmt.Sprintf("v%d={%s}", v, strings.Join(ids, ",")))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Label runs LaMoFinder on a directed motif: the directed symmetry group
+// drives the occurrence pairing, everything else (similarity, clustering,
+// least-general schemes, stopping rule) is the shared machinery.
+func Label(l *label.Labeler, m *Motif) []*LabeledMotif {
+	orbits := Orbits(m.Pattern)
+	product := 1
+	for _, orb := range orbits {
+		for k := 2; k <= len(orb); k++ {
+			product *= k
+			if product > 5040 {
+				break
+			}
+		}
+	}
+	cap := product
+	if cap > 5040 {
+		cap = 5040
+	}
+	auts := Automorphisms(m.Pattern, cap+1)
+	sym := label.NewSymmetryFromGroup(orbits, auts, len(auts) == product && product <= 5040)
+	schemes := l.LabelOccurrences(m.Size(), m.Occurrences, sym)
+	out := make([]*LabeledMotif, 0, len(schemes))
+	for _, s := range schemes {
+		out = append(out, &LabeledMotif{
+			Pattern:     m.Pattern,
+			Labels:      s.Labels,
+			Occurrences: s.Occurrences,
+			Frequency:   len(s.Occurrences),
+			Uniqueness:  m.Uniqueness,
+		})
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// canonExactMax is the largest vertex count for which CanonicalKey computes
+// an exact canonical form by (pruned) permutation search. Above this size,
+// pattern classes are resolved by invariant hashing plus explicit
+// isomorphism checks (see Classifier).
+const canonExactMax = 8
+
+// wlColors returns per-vertex colors from iterated Weisfeiler-Leman style
+// refinement: an isomorphism-invariant vertex signature. It is the hottest
+// function in meso-scale mining, so it works in stack buffers and performs
+// a single result allocation.
+func wlColors(d *Dense) []uint64 {
+	var curArr, nextArr, neighArr [MaxDense]uint64
+	n := d.n
+	cur, next := curArr[:n], nextArr[:n]
+	for v := 0; v < n; v++ {
+		cur[v] = uint64(bits.OnesCount32(d.rows[v]))
+	}
+	for round := 0; round < 3; round++ {
+		for v := 0; v < n; v++ {
+			neigh := neighArr[:0]
+			for m := d.rows[v]; m != 0; m &= m - 1 {
+				neigh = append(neigh, cur[bits.TrailingZeros32(m)])
+			}
+			sortUint64(neigh)
+			h := cur[v]*0x9e3779b97f4a7c15 + 0x517cc1b727220a95
+			for _, c := range neigh {
+				h = (h ^ c) * 0x100000001b3
+			}
+			next[v] = h
+		}
+		cur, next = next, cur
+	}
+	out := make([]uint64, n)
+	copy(out, cur)
+	return out
+}
+
+// sortUint64 sorts a short slice in place (insertion sort; motif patterns
+// have at most MaxDense entries).
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Invariant returns an isomorphism-invariant hash of d. Two isomorphic
+// graphs always share an invariant; two graphs with the same invariant are
+// usually, but not necessarily, isomorphic.
+func Invariant(d *Dense) uint64 {
+	cols := wlColors(d)
+	sortUint64(cols)
+	h := uint64(d.n)*0x9e3779b97f4a7c15 + uint64(d.M())
+	for _, c := range cols {
+		h = (h ^ c) * 0x100000001b3
+	}
+	return h
+}
+
+// CanonicalKey returns a string that is identical for isomorphic graphs and
+// distinct for non-isomorphic ones, for graphs with at most canonExactMax
+// vertices. It panics for larger graphs; use Classifier for those.
+func CanonicalKey(d *Dense) string {
+	if d.n > canonExactMax {
+		panic("graph: CanonicalKey limited to 8 vertices; use Classifier")
+	}
+	// Group vertices into invariant color classes; the canonical permutation
+	// orders classes by (count, color) and permutes only within classes.
+	cols := wlColors(d)
+	best := canonSearch(d, cols)
+	return best.bitsKey()
+}
+
+// canonSearch finds the lexicographically minimal relabeling of d that is
+// compatible with the color classes.
+func canonSearch(d *Dense, cols []uint64) *Dense {
+	n := d.n
+	// Order vertices into cells: vertices sharing a color are interchangeable
+	// candidates for the same canonical positions.
+	type cell struct {
+		color uint64
+		verts []int
+	}
+	byColor := map[uint64][]int{}
+	for v, c := range cols {
+		byColor[c] = append(byColor[c], v)
+	}
+	cells := make([]cell, 0, len(byColor))
+	for c, vs := range byColor {
+		cells = append(cells, cell{c, vs})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if len(cells[i].verts) != len(cells[j].verts) {
+			return len(cells[i].verts) < len(cells[j].verts)
+		}
+		return cells[i].color < cells[j].color
+	})
+	pool := make([][]int, 0, n) // candidate vertex pool per canonical position
+	for _, c := range cells {
+		for range c.verts {
+			pool = append(pool, c.verts)
+		}
+	}
+
+	// The canonical form is the lexicographically minimal sequence of
+	// lower-triangle rows: curRows[pos] holds the adjacency bits of the
+	// vertex placed at position pos toward positions 0..pos-1.
+	perm := make([]int, n)
+	used := make([]bool, n)
+	curRows := make([]uint32, n)
+	var bestRows []uint32
+
+	var rec func(pos int, tight bool)
+	rec = func(pos int, tight bool) {
+		if pos == n {
+			if bestRows == nil {
+				bestRows = append([]uint32(nil), curRows...)
+			} else if lexLess(curRows, bestRows) {
+				copy(bestRows, curRows)
+			}
+			return
+		}
+		for _, v := range pool[pos] {
+			if used[v] {
+				continue
+			}
+			var row uint32
+			for p := 0; p < pos; p++ {
+				if d.HasEdge(v, perm[p]) {
+					row |= 1 << uint(p)
+				}
+			}
+			nt := tight
+			if bestRows != nil && tight {
+				if row > bestRows[pos] {
+					continue // lexicographically worse; prune
+				}
+				nt = row == bestRows[pos]
+			}
+			perm[pos] = v
+			used[v] = true
+			curRows[pos] = row
+			rec(pos+1, nt)
+			used[v] = false
+		}
+	}
+	rec(0, true)
+
+	best := NewDense(n)
+	for i := 0; i < n; i++ {
+		for p := 0; p < i; p++ {
+			if bestRows[i]&(1<<uint(p)) != 0 {
+				best.AddEdge(i, p)
+			}
+		}
+	}
+	return best
+}
+
+// lexLess reports whether row sequence a is lexicographically smaller than b.
+func lexLess(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Isomorphic reports whether a and b are isomorphic.
+func Isomorphic(a, b *Dense) bool {
+	if a.n != b.n || a.M() != b.M() {
+		return false
+	}
+	if Invariant(a) != Invariant(b) {
+		return false
+	}
+	if a.n <= canonExactMax {
+		return CanonicalKey(a) == CanonicalKey(b)
+	}
+	return vf2DenseIso(a, b)
+}
+
+// Classifier interns dense graphs into isomorphism classes. It is the
+// mechanism the motif miner uses to group subgraph occurrences by pattern,
+// combining exact canonical keys (small graphs) with invariant buckets
+// resolved by VF2 (meso-scale graphs).
+type Classifier struct {
+	byKey map[string]int   // exact canonical key -> class id (n <= canonExactMax)
+	byInv map[uint64][]int // invariant -> candidate class ids (n > canonExactMax)
+	reps  []*Dense         // class id -> representative
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{byKey: map[string]int{}, byInv: map[uint64][]int{}}
+}
+
+// NumClasses returns the number of distinct isomorphism classes seen.
+func (c *Classifier) NumClasses() int { return len(c.reps) }
+
+// Rep returns the representative graph of class id.
+func (c *Classifier) Rep(id int) *Dense { return c.reps[id] }
+
+// Classify returns the isomorphism class id of d, allocating a new class if
+// d is not isomorphic to any previously classified graph.
+func (c *Classifier) Classify(d *Dense) int {
+	if d.n <= canonExactMax {
+		k := CanonicalKey(d)
+		if id, ok := c.byKey[k]; ok {
+			return id
+		}
+		id := len(c.reps)
+		c.reps = append(c.reps, d.Clone())
+		c.byKey[k] = id
+		return id
+	}
+	inv := Invariant(d)
+	for _, id := range c.byInv[inv] {
+		if vf2DenseIso(c.reps[id], d) {
+			return id
+		}
+	}
+	id := len(c.reps)
+	c.reps = append(c.reps, d.Clone())
+	c.byInv[inv] = append(c.byInv[inv], id)
+	return id
+}

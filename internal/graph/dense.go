@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxDense is the maximum vertex count of a Dense graph. Motif patterns in
+// the paper top out at 20 vertices, comfortably inside this bound.
+const MaxDense = 32
+
+// Dense is a small undirected simple graph stored as a bit adjacency matrix,
+// used for motif patterns (n <= MaxDense).
+type Dense struct {
+	n    int
+	rows [MaxDense]uint32
+}
+
+// NewDense returns an empty dense graph with n vertices.
+func NewDense(n int) *Dense {
+	if n < 0 || n > MaxDense {
+		panic(fmt.Sprintf("graph: dense graph size %d out of range [0,%d]", n, MaxDense))
+	}
+	return &Dense{n: n}
+}
+
+// N returns the number of vertices.
+func (d *Dense) N() int { return d.n }
+
+// M returns the number of edges.
+func (d *Dense) M() int {
+	m := 0
+	for i := 0; i < d.n; i++ {
+		m += bits.OnesCount32(d.rows[i])
+	}
+	return m / 2
+}
+
+// AddEdge adds the undirected edge {u, v}; self-loops are ignored.
+func (d *Dense) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	d.rows[u] |= 1 << uint(v)
+	d.rows[v] |= 1 << uint(u)
+}
+
+// HasEdge reports whether the edge {u, v} exists.
+func (d *Dense) HasEdge(u, v int) bool {
+	return d.rows[u]&(1<<uint(v)) != 0
+}
+
+// Row returns the adjacency bitmask of vertex v.
+func (d *Dense) Row(v int) uint32 { return d.rows[v] }
+
+// Degree returns the degree of vertex v.
+func (d *Dense) Degree(v int) int { return bits.OnesCount32(d.rows[v]) }
+
+// DegreeSequence returns the vertex degrees sorted descending.
+func (d *Dense) DegreeSequence() []int {
+	ds := make([]int, d.n)
+	for i := 0; i < d.n; i++ {
+		ds[i] = d.Degree(i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (d *Dense) Connected() bool {
+	if d.n <= 1 {
+		return true
+	}
+	var seen uint32 = 1
+	frontier := uint32(1)
+	for frontier != 0 {
+		var next uint32
+		for f := frontier; f != 0; {
+			v := bits.TrailingZeros32(f)
+			f &= f - 1
+			next |= d.rows[v]
+		}
+		frontier = next &^ seen
+		seen |= frontier
+	}
+	return seen == (uint32(1)<<uint(d.n))-1
+}
+
+// Clone returns a copy of d.
+func (d *Dense) Clone() *Dense {
+	c := *d
+	return &c
+}
+
+// Permute returns the graph relabeled so that new vertex i is old vertex
+// perm[i].
+func (d *Dense) Permute(perm []int) *Dense {
+	p := NewDense(d.n)
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			if d.HasEdge(perm[i], perm[j]) {
+				p.AddEdge(i, j)
+			}
+		}
+	}
+	return p
+}
+
+// Equal reports whether d and o are identical labeled graphs.
+func (d *Dense) Equal(o *Dense) bool {
+	if d.n != o.n {
+		return false
+	}
+	for i := 0; i < d.n; i++ {
+		if d.rows[i] != o.rows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sparse converts d to a sparse Graph.
+func (d *Dense) Sparse() *Graph {
+	g := New(d.n)
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			if d.HasEdge(i, j) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// String renders the edge list, e.g. "5:[0-1 1-2 2-3 3-4 4-0]".
+func (d *Dense) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:[", d.n)
+	first := true
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			if d.HasEdge(i, j) {
+				if !first {
+					b.WriteByte(' ')
+				}
+				first = false
+				fmt.Fprintf(&b, "%d-%d", i, j)
+			}
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// bitsKey packs the upper-triangle adjacency bits into a comparable string,
+// suitable as a map key for a fixed vertex labeling.
+func (d *Dense) bitsKey() string {
+	buf := make([]byte, 0, d.n*4+1)
+	buf = append(buf, byte(d.n))
+	for i := 0; i < d.n; i++ {
+		r := d.rows[i]
+		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(buf)
+}

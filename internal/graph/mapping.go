@@ -1,0 +1,60 @@
+package graph
+
+import "math/bits"
+
+// IsoMapping returns a vertex mapping m (m[i] = vertex of b corresponding to
+// vertex i of a) witnessing an isomorphism between a and b, or nil if none
+// exists. The motif miner uses it to express each occurrence in the class
+// representative's vertex order.
+func IsoMapping(a, b *Dense) []int {
+	n := a.n
+	if n != b.n || a.M() != b.M() {
+		return nil
+	}
+	ca, cb := wlColors(a), wlColors(b)
+	cand := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		var m uint32
+		for v := 0; v < n; v++ {
+			if ca[u] == cb[v] {
+				m |= 1 << uint(v)
+			}
+		}
+		if m == 0 {
+			return nil
+		}
+		cand[u] = m
+	}
+	mapping := make([]int, n)
+	var usedB uint32
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return true
+		}
+		for m := cand[u] &^ usedB; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &= m - 1
+			ok := true
+			for p := 0; p < u; p++ {
+				if a.HasEdge(u, p) != b.HasEdge(v, mapping[p]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mapping[u] = v
+				usedB |= 1 << uint(v)
+				if rec(u + 1) {
+					return true
+				}
+				usedB &^= 1 << uint(v)
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	return mapping
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+)
+
+// IsTree reports whether d is a tree (connected, n-1 edges).
+func (d *Dense) IsTree() bool {
+	return d.n > 0 && d.M() == d.n-1 && d.Connected()
+}
+
+// TreeCanonicalKey returns the AHU canonical encoding of a free tree: two
+// trees get the same key iff they are isomorphic. The second result is
+// false when d is not a tree. NeMoFinder's "repeated trees" are grouped by
+// this key, which is computable in linear time — unlike general canonical
+// forms.
+func TreeCanonicalKey(d *Dense) (string, bool) {
+	if !d.IsTree() {
+		return "", false
+	}
+	if d.n == 1 {
+		return "()", true
+	}
+	// Free-tree canonical form: root at the tree's center(s) and take the
+	// lexicographically smaller AHU encoding.
+	centers := treeCenters(d)
+	best := ""
+	for _, c := range centers {
+		enc := ahuEncode(d, c)
+		if best == "" || enc < best {
+			best = enc
+		}
+	}
+	return best, true
+}
+
+// treeCenters returns the 1 or 2 centers of a tree: peel leaves layer by
+// layer until at most two vertices remain.
+func treeCenters(d *Dense) []int {
+	n := d.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	var leaves []int
+	for v := 0; v < n; v++ {
+		deg[v] = d.Degree(v)
+		if deg[v] <= 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	remaining := n
+	for remaining > 2 {
+		var next []int
+		for _, v := range leaves {
+			removed[v] = true
+			remaining--
+			for w := 0; w < n; w++ {
+				if w != v && !removed[w] && d.HasEdge(v, w) {
+					deg[w]--
+					if deg[w] == 1 {
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		leaves = next
+	}
+	var centers []int
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			centers = append(centers, v)
+		}
+	}
+	return centers
+}
+
+// ahuEncode returns the AHU parenthesis encoding of the tree rooted at
+// root: each subtree encodes as "(" + sorted child encodings + ")".
+func ahuEncode(d *Dense, root int) string {
+	var rec func(v, parent int) string
+	rec = func(v, parent int) string {
+		var childs []string
+		for w := 0; w < d.n; w++ {
+			if w != v && w != parent && d.HasEdge(v, w) {
+				childs = append(childs, rec(w, v))
+			}
+		}
+		sort.Strings(childs)
+		return "(" + strings.Join(childs, "") + ")"
+	}
+	return rec(root, -1)
+}
+
+// SpanningTree returns a BFS spanning tree of a connected dense graph as a
+// new Dense holding only the tree edges (rooted at vertex 0's BFS order).
+func (d *Dense) SpanningTree() *Dense {
+	t := NewDense(d.n)
+	if d.n == 0 {
+		return t
+	}
+	visited := make([]bool, d.n)
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for w := 0; w < d.n; w++ {
+			if w != v && d.HasEdge(v, w) && !visited[w] {
+				visited[w] = true
+				t.AddEdge(v, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return t
+}

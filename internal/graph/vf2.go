@@ -1,0 +1,314 @@
+package graph
+
+import "math/bits"
+
+// vf2DenseIso reports whether two equally sized dense graphs are isomorphic,
+// using a VF2-style backtracking search seeded with WL color compatibility.
+func vf2DenseIso(a, b *Dense) bool {
+	n := a.n
+	if n != b.n {
+		return false
+	}
+	ca, cb := wlColors(a), wlColors(b)
+	// Candidate sets: vertex u of a may map only to vertices of b with the
+	// same color.
+	cand := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		var m uint32
+		for v := 0; v < n; v++ {
+			if ca[u] == cb[v] {
+				m |= 1 << uint(v)
+			}
+		}
+		if m == 0 {
+			return false
+		}
+		cand[u] = m
+	}
+	mapping := make([]int, n)
+	var usedB uint32
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return true
+		}
+		for m := cand[u] &^ usedB; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &= m - 1
+			ok := true
+			for p := 0; p < u; p++ {
+				if a.HasEdge(u, p) != b.HasEdge(v, mapping[p]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mapping[u] = v
+				usedB |= 1 << uint(v)
+				if rec(u + 1) {
+					return true
+				}
+				usedB &^= 1 << uint(v)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Automorphisms enumerates the automorphisms of d (as permutations:
+// perm[i] = image of vertex i), up to the given cap (0 = no cap). The
+// identity is always included.
+func Automorphisms(d *Dense, cap int) [][]int {
+	n := d.n
+	cols := wlColors(d)
+	cand := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		var m uint32
+		for v := 0; v < n; v++ {
+			if cols[u] == cols[v] {
+				m |= 1 << uint(v)
+			}
+		}
+		cand[u] = m
+	}
+	var out [][]int
+	mapping := make([]int, n)
+	var usedB uint32
+	var rec func(u int) bool // returns true to abort (cap reached)
+	rec = func(u int) bool {
+		if u == n {
+			out = append(out, append([]int(nil), mapping...))
+			return cap > 0 && len(out) >= cap
+		}
+		for m := cand[u] &^ usedB; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &= m - 1
+			ok := true
+			for p := 0; p < u; p++ {
+				if d.HasEdge(u, p) != d.HasEdge(v, mapping[p]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mapping[u] = v
+				usedB |= 1 << uint(v)
+				stop := rec(u + 1)
+				usedB &^= 1 << uint(v)
+				if stop {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out
+}
+
+// Orbits returns the automorphism orbits of d: the partition of vertices
+// into the paper's "symmetric vertex sets". Vertices in the same orbit can
+// be interchanged by some automorphism. Orbits are returned sorted by their
+// smallest member; singleton orbits are included.
+func Orbits(d *Dense) [][]int {
+	n := d.n
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	// A generous cap: the orbit partition usually converges from few
+	// automorphisms; 4096 covers highly symmetric meso-scale motifs.
+	for _, perm := range Automorphisms(d, 4096) {
+		for i, img := range perm {
+			union(i, img)
+		}
+	}
+	groups := map[int][]int{}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	orbits := make([][]int, 0, len(groups))
+	for r := 0; r < n; r++ {
+		if g, ok := groups[r]; ok {
+			orbits = append(orbits, g)
+		}
+	}
+	return orbits
+}
+
+// AutomorphismCount returns the order of the automorphism group of d,
+// capped at the given limit (0 = no cap).
+func AutomorphismCount(d *Dense, cap int) int {
+	return len(Automorphisms(d, cap))
+}
+
+// CountInducedUpTo counts vertex sets of g whose induced subgraph is
+// isomorphic to pattern, stopping as soon as the count reaches limit
+// (limit <= 0 means count exhaustively). Counting is by distinct vertex
+// sets: the number of matched mappings is divided by |Aut(pattern)|.
+// maxSteps bounds the number of backtracking extensions (0 = unbounded);
+// when the budget is exhausted the count found so far is returned with
+// exact = false.
+func CountInducedUpTo(g *Graph, pattern *Dense, limit int, maxSteps int64) (count int, exact bool) {
+	aut := AutomorphismCount(pattern, 0)
+	mappings, exact := countMappings(g, pattern, int64(limit)*int64(aut), maxSteps)
+	return int(mappings / int64(aut)), exact
+}
+
+// countMappings counts injective induced-isomorphism mappings of pattern
+// into g, stopping at mapLimit (<= 0: exhaustive) or after maxSteps
+// extensions.
+func countMappings(g *Graph, pattern *Dense, mapLimit int64, maxSteps int64) (int64, bool) {
+	k := pattern.n
+	if k == 0 {
+		return 0, true
+	}
+	// Order pattern vertices so each (after the first) attaches to a prior
+	// one; assumes pattern is connected (motifs are).
+	order, prior := connectedOrder(pattern)
+	pdeg := make([]int, k)
+	for i := 0; i < k; i++ {
+		pdeg[i] = pattern.Degree(i)
+	}
+	// Precompute, per position, which earlier positions must be adjacent /
+	// non-adjacent in the graph (induced matching).
+	adjPrev := make([][]int, k)  // positions p < pos with a pattern edge
+	nadjPrev := make([][]int, k) // positions p < pos without one
+	for pos := 0; pos < k; pos++ {
+		u := order[pos]
+		for p := 0; p < pos; p++ {
+			if pattern.HasEdge(u, order[p]) {
+				adjPrev[pos] = append(adjPrev[pos], p)
+			} else {
+				nadjPrev[pos] = append(nadjPrev[pos], p)
+			}
+		}
+	}
+	mapped := make([]int, k) // position -> graph vertex
+	usedG := make([]bool, g.N())
+	var cnt, steps int64
+	exhausted := false
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if exhausted || (mapLimit > 0 && cnt >= mapLimit) {
+			return
+		}
+		if pos == k {
+			cnt++
+			return
+		}
+		u := order[pos]
+		try := func(gv int) {
+			if usedG[gv] || g.Degree(gv) < pdeg[u] {
+				return
+			}
+			steps++
+			if maxSteps > 0 && steps > maxSteps {
+				exhausted = true
+				return
+			}
+			for _, p := range adjPrev[pos] {
+				if !g.HasEdge(gv, mapped[p]) {
+					return
+				}
+			}
+			for _, p := range nadjPrev[pos] {
+				if g.HasEdge(gv, mapped[p]) {
+					return
+				}
+			}
+			mapped[pos] = gv
+			usedG[gv] = true
+			rec(pos + 1)
+			usedG[gv] = false
+		}
+		if pos == 0 {
+			for gv := 0; gv < g.N(); gv++ {
+				if exhausted || (mapLimit > 0 && cnt >= mapLimit) {
+					return
+				}
+				try(gv)
+			}
+			return
+		}
+		anchor := mapped[prior[pos]]
+		for _, gv := range g.Neighbors(anchor) {
+			if exhausted || (mapLimit > 0 && cnt >= mapLimit) {
+				return
+			}
+			try(int(gv))
+		}
+	}
+	rec(0)
+	if mapLimit > 0 && cnt >= mapLimit {
+		return cnt, true // reached the requested limit; exact up to the cap
+	}
+	return cnt, !exhausted
+}
+
+// connectedOrder returns an order of pattern vertices such that every vertex
+// after the first is adjacent to an earlier one, plus for each position the
+// index (into order) of one earlier neighbor.
+func connectedOrder(pattern *Dense) (order []int, prior []int) {
+	k := pattern.n
+	order = make([]int, 0, k)
+	prior = make([]int, k)
+	inOrder := make([]int, k) // vertex -> position+1, 0 = absent
+	// Start from the max-degree vertex for better pruning.
+	start := 0
+	for v := 1; v < k; v++ {
+		if pattern.Degree(v) > pattern.Degree(start) {
+			start = v
+		}
+	}
+	order = append(order, start)
+	inOrder[start] = 1
+	for len(order) < k {
+		bestV, bestAnchor, bestDeg := -1, -1, -1
+		for v := 0; v < k; v++ {
+			if inOrder[v] != 0 {
+				continue
+			}
+			for pos, w := range order {
+				if pattern.HasEdge(v, w) {
+					if pattern.Degree(v) > bestDeg {
+						bestV, bestAnchor, bestDeg = v, pos, pattern.Degree(v)
+					}
+					break
+				}
+			}
+		}
+		if bestV < 0 { // disconnected pattern: append arbitrary remaining
+			for v := 0; v < k; v++ {
+				if inOrder[v] == 0 {
+					bestV, bestAnchor = v, 0
+					break
+				}
+			}
+		}
+		prior[len(order)] = bestAnchor
+		order = append(order, bestV)
+		inOrder[bestV] = len(order)
+	}
+	return order, prior
+}

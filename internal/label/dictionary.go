@@ -1,0 +1,133 @@
+package label
+
+import (
+	"sort"
+
+	"lamofinder/internal/ontology"
+)
+
+// Dictionary indexes a collection of labeled network motifs for the
+// "dictionary of network motifs and their functional information" use the
+// paper envisages (Section 5, after Alon 2003): lookup by protein, by GO
+// term, and per-protein position summaries.
+type Dictionary struct {
+	o      *ontology.Ontology
+	motifs []*LabeledMotif
+	// byProtein[p] lists (motif index, vertex, occurrence count) entries.
+	byProtein map[int32][]DictEntry
+	// byTerm[t] lists motif indices whose labels include term t.
+	byTerm map[int32][]int
+}
+
+// DictEntry locates a protein inside a labeled motif.
+type DictEntry struct {
+	Motif  int // index into Motifs()
+	Vertex int
+	Count  int // occurrences of the motif placing the protein at Vertex
+}
+
+// NewDictionary builds the indexes.
+func NewDictionary(o *ontology.Ontology, motifs []*LabeledMotif) *Dictionary {
+	d := &Dictionary{
+		o:         o,
+		motifs:    motifs,
+		byProtein: map[int32][]DictEntry{},
+		byTerm:    map[int32][]int{},
+	}
+	for gi, lm := range motifs {
+		seenTerm := map[int32]bool{}
+		for _, ts := range lm.Labels {
+			for _, t := range ts {
+				if !seenTerm[t] {
+					seenTerm[t] = true
+					d.byTerm[t] = append(d.byTerm[t], gi)
+				}
+			}
+		}
+		for _, occ := range lm.Occurrences {
+			for v, p := range occ {
+				d.bump(p, gi, v)
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dictionary) bump(p int32, motif, vertex int) {
+	es := d.byProtein[p]
+	for i := range es {
+		if es[i].Motif == motif && es[i].Vertex == vertex {
+			es[i].Count++
+			return
+		}
+	}
+	d.byProtein[p] = append(es, DictEntry{Motif: motif, Vertex: vertex, Count: 1})
+}
+
+// Motifs returns the indexed motifs.
+func (d *Dictionary) Motifs() []*LabeledMotif { return d.motifs }
+
+// ForProtein returns the motif positions protein p occupies.
+func (d *Dictionary) ForProtein(p int32) []DictEntry { return d.byProtein[p] }
+
+// CoveredProteins returns the sorted proteins occurring in any motif.
+func (d *Dictionary) CoveredProteins() []int32 {
+	out := make([]int32, 0, len(d.byProtein))
+	for p := range d.byProtein {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForTerm returns the motifs labeled with term t or any of its descendants
+// (a query for "motifs about this function").
+func (d *Dictionary) ForTerm(t int) []*LabeledMotif {
+	seen := map[int]bool{}
+	var out []*LabeledMotif
+	add := func(term int32) {
+		for _, gi := range d.byTerm[term] {
+			if !seen[gi] {
+				seen[gi] = true
+				out = append(out, d.motifs[gi])
+			}
+		}
+	}
+	add(int32(t))
+	for _, desc := range d.o.Descendants(t) {
+		add(int32(desc))
+	}
+	return out
+}
+
+// SuggestedLabels returns, for protein p, the GO terms suggested by the
+// motif vertices it occupies, strongest first (weighted by occurrence count
+// times motif frequency). This is the dictionary-lookup flavor of the
+// paper's prediction idea, at GO-term granularity rather than category
+// granularity.
+func (d *Dictionary) SuggestedLabels(p int32) []TermScore {
+	weights := map[int32]float64{}
+	for _, e := range d.byProtein[p] {
+		lm := d.motifs[e.Motif]
+		for _, t := range lm.Labels[e.Vertex] {
+			weights[t] += float64(e.Count) * float64(lm.Frequency)
+		}
+	}
+	out := make([]TermScore, 0, len(weights))
+	for t, w := range weights {
+		out = append(out, TermScore{Term: int(t), Score: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// TermScore pairs a GO term with a suggestion weight.
+type TermScore struct {
+	Term  int
+	Score float64
+}

@@ -1,0 +1,186 @@
+package label
+
+import (
+	"strings"
+	"testing"
+
+	"lamofinder/internal/dataset"
+)
+
+func exampleDictionary(t *testing.T) (*dataset.PaperExample, *Dictionary) {
+	t.Helper()
+	pe := dataset.NewPaperExample()
+	l := NewLabelerWithCounts(pe.Corpus, pe.Direct, Config{Sigma: 2, MinDirect: 30})
+	motifs := l.LabelMotif(pe.Motif)
+	if len(motifs) == 0 {
+		t.Fatal("no motifs")
+	}
+	return pe, NewDictionary(pe.Ontology, motifs)
+}
+
+func TestDictionaryProteinLookup(t *testing.T) {
+	_, d := exampleDictionary(t)
+	covered := d.CoveredProteins()
+	if len(covered) == 0 {
+		t.Fatal("no covered proteins")
+	}
+	for _, p := range covered {
+		es := d.ForProtein(p)
+		if len(es) == 0 {
+			t.Fatalf("covered protein %d has no entries", p)
+		}
+		for _, e := range es {
+			if e.Count < 1 || e.Motif < 0 || e.Motif >= len(d.Motifs()) {
+				t.Fatalf("bad entry %+v", e)
+			}
+			if e.Vertex < 0 || e.Vertex >= d.Motifs()[e.Motif].Size() {
+				t.Fatalf("bad vertex in %+v", e)
+			}
+		}
+	}
+	if d.ForProtein(9999) != nil {
+		t.Error("unknown protein should have no entries")
+	}
+}
+
+func TestDictionaryTermLookup(t *testing.T) {
+	pe, d := exampleDictionary(t)
+	// Collect every label used, then every ForTerm query must return the
+	// motifs carrying the term.
+	for _, lm := range d.Motifs() {
+		for _, ts := range lm.Labels {
+			for _, term := range ts {
+				got := d.ForTerm(int(term))
+				found := false
+				for _, g := range got {
+					if g == lm {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("ForTerm(%s) missed its motif", pe.Ontology.ID(int(term)))
+				}
+			}
+		}
+	}
+	// Ancestor query includes descendants' motifs: G01 covers everything.
+	root := pe.Term("G01")
+	if len(d.ForTerm(root)) != len(d.Motifs()) {
+		// Only if every motif has at least one labeled vertex.
+		labeledAll := true
+		for _, lm := range d.Motifs() {
+			any := false
+			for _, ts := range lm.Labels {
+				if len(ts) > 0 {
+					any = true
+				}
+			}
+			if !any {
+				labeledAll = false
+			}
+		}
+		if labeledAll {
+			t.Errorf("root query returned %d of %d motifs", len(d.ForTerm(root)), len(d.Motifs()))
+		}
+	}
+}
+
+func TestDictionarySuggestedLabels(t *testing.T) {
+	_, d := exampleDictionary(t)
+	covered := d.CoveredProteins()
+	anySuggestion := false
+	for _, p := range covered {
+		ss := d.SuggestedLabels(p)
+		for i := 1; i < len(ss); i++ {
+			if ss[i-1].Score < ss[i].Score {
+				t.Fatalf("suggestions not sorted: %v", ss)
+			}
+		}
+		if len(ss) > 0 {
+			anySuggestion = true
+		}
+	}
+	if !anySuggestion {
+		t.Error("no suggestions produced for any covered protein")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	pe, d := exampleDictionary(t)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, pe.Ontology, d.Motifs()[0], "g1"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph \"g1\"", "v0", "--", "freq="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count must match the pattern.
+	if got := strings.Count(out, "--"); got != d.Motifs()[0].Pattern.M() {
+		t.Errorf("DOT edges = %d, pattern has %d", got, d.Motifs()[0].Pattern.M())
+	}
+}
+
+func TestFindConforming(t *testing.T) {
+	pe, d := exampleDictionary(t)
+	lm := d.Motifs()[0]
+	// The dictionary's own occurrences must be rediscovered in the source
+	// network (they conform by construction).
+	occs := FindConforming(pe.Network, pe.Corpus, lm, 0)
+	if len(occs) < len(lm.Occurrences) {
+		t.Fatalf("FindConforming found %d, motif has %d", len(occs), len(lm.Occurrences))
+	}
+	// Every result embeds the pattern and conforms.
+	for _, occ := range occs {
+		for i := 0; i < lm.Size(); i++ {
+			for j := i + 1; j < lm.Size(); j++ {
+				if lm.Pattern.HasEdge(i, j) && !pe.Network.HasEdge(int(occ[i]), int(occ[j])) {
+					t.Fatalf("occurrence %v does not embed pattern", occ)
+				}
+			}
+		}
+		occLabels := make([][]int32, lm.Size())
+		for v, p := range occ {
+			occLabels[v] = pe.Corpus.Terms(int(p))
+		}
+		if !Conforms(pe.Ontology, lm.Labels, occLabels) {
+			t.Fatalf("occurrence %v does not conform", occ)
+		}
+	}
+	// Limit respected.
+	if got := FindConforming(pe.Network, pe.Corpus, lm, 2); len(got) != 2 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+}
+
+func TestFindConformingRejectsWrongLabels(t *testing.T) {
+	// A scheme demanding a label absent everywhere finds nothing with
+	// annotated proteins... vertices with annotations that lack the term
+	// are rejected; fully unannotated regions still conform trivially.
+	pe, d := exampleDictionary(t)
+	src := d.Motifs()[0]
+	g06 := int32(pe.Term("G06"))
+	strict := &LabeledMotif{
+		Pattern: src.Pattern,
+		Labels:  [][]int32{{g06}, {g06}, {g06}, {g06}},
+	}
+	for _, occ := range FindConforming(pe.Network, pe.Corpus, strict, 0) {
+		for _, p := range occ {
+			ts := pe.Corpus.Terms(int(p))
+			if len(ts) == 0 {
+				continue
+			}
+			ok := false
+			for _, at := range ts {
+				if pe.Ontology.IsAncestorOrSelf(int(g06), int(at)) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("non-conforming protein %d in %v", p, occ)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package label
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"lamofinder/internal/ontology"
+)
+
+// WriteDOT renders a labeled motif as a Graphviz graph, with GO ids (and
+// names when available) as vertex labels — the publication-figure form of
+// the paper's Figure 7 exhibits.
+func WriteDOT(w io.Writer, o *ontology.Ontology, lm *LabeledMotif, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "motif"
+	}
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=ellipse, fontsize=10];\n")
+	for v := 0; v < lm.Size(); v++ {
+		lab := "unknown"
+		if len(lm.Labels[v]) > 0 {
+			parts := make([]string, 0, len(lm.Labels[v]))
+			for _, t := range lm.Labels[v] {
+				p := o.ID(int(t))
+				if n := o.Name(int(t)); n != "" {
+					p += "\\n" + n
+				}
+				parts = append(parts, p)
+			}
+			lab = strings.Join(parts, "\\n")
+		}
+		fmt.Fprintf(bw, "  v%d [label=\"%s\"];\n", v, lab)
+	}
+	for i := 0; i < lm.Size(); i++ {
+		for j := 0; j < i; j++ {
+			if lm.Pattern.HasEdge(i, j) {
+				fmt.Fprintf(bw, "  v%d -- v%d;\n", j, i)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "  label=\"freq=%d uniq=%.2f\";\n", lm.Frequency, lm.Uniqueness)
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

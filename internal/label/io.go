@@ -1,0 +1,101 @@
+package label
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lamofinder/internal/graph"
+	"lamofinder/internal/ontology"
+)
+
+// motifJSON is the serialized form of a LabeledMotif: edges as index pairs,
+// labels as GO term ids (resolved against the ontology at load time).
+type motifJSON struct {
+	N           int        `json:"n"`
+	Edges       [][2]int   `json:"edges"`
+	Labels      [][]string `json:"labels"`
+	Occurrences [][]int32  `json:"occurrences"`
+	Frequency   int        `json:"frequency"`
+	Uniqueness  float64    `json:"uniqueness"`
+}
+
+// WriteMotifs serializes labeled motifs as JSON lines (one motif per line),
+// with labels encoded as term ids so the dictionary survives ontology
+// reindexing.
+func WriteMotifs(w io.Writer, o *ontology.Ontology, motifs []*LabeledMotif) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, lm := range motifs {
+		j := motifJSON{
+			N:           lm.Size(),
+			Occurrences: lm.Occurrences,
+			Frequency:   lm.Frequency,
+			Uniqueness:  lm.Uniqueness,
+		}
+		for i := 0; i < lm.Size(); i++ {
+			for p := 0; p < i; p++ {
+				if lm.Pattern.HasEdge(i, p) {
+					j.Edges = append(j.Edges, [2]int{p, i})
+				}
+			}
+		}
+		j.Labels = make([][]string, lm.Size())
+		for v, ts := range lm.Labels {
+			for _, t := range ts {
+				j.Labels[v] = append(j.Labels[v], o.ID(int(t)))
+			}
+		}
+		if err := enc.Encode(&j); err != nil {
+			return fmt.Errorf("label: encode motif: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMotifs loads a JSON-lines motif dictionary written by WriteMotifs.
+// Labels naming unknown terms are dropped (with a count returned), so a
+// dictionary can be loaded against a newer ontology revision.
+func ReadMotifs(r io.Reader, o *ontology.Ontology) (motifs []*LabeledMotif, droppedTerms int, err error) {
+	dec := json.NewDecoder(r)
+	for {
+		var j motifJSON
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, droppedTerms, fmt.Errorf("label: decode motif: %w", err)
+		}
+		if j.N < 0 || j.N > graph.MaxDense {
+			return nil, droppedTerms, fmt.Errorf("label: motif size %d out of range", j.N)
+		}
+		lm := &LabeledMotif{
+			Pattern:     graph.NewDense(j.N),
+			Labels:      make([][]int32, j.N),
+			Occurrences: j.Occurrences,
+			Frequency:   j.Frequency,
+			Uniqueness:  j.Uniqueness,
+		}
+		for _, e := range j.Edges {
+			if e[0] < 0 || e[0] >= j.N || e[1] < 0 || e[1] >= j.N {
+				return nil, droppedTerms, fmt.Errorf("label: edge %v out of range", e)
+			}
+			lm.Pattern.AddEdge(e[0], e[1])
+		}
+		for v, ids := range j.Labels {
+			if v >= j.N {
+				return nil, droppedTerms, fmt.Errorf("label: label row %d out of range", v)
+			}
+			for _, id := range ids {
+				t := o.Index(id)
+				if t < 0 {
+					droppedTerms++
+					continue
+				}
+				lm.Labels[v] = append(lm.Labels[v], int32(t))
+			}
+		}
+		motifs = append(motifs, lm)
+	}
+	return motifs, droppedTerms, nil
+}

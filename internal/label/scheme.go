@@ -1,0 +1,128 @@
+package label
+
+import (
+	"sort"
+
+	"lamofinder/internal/ontology"
+)
+
+// LeastGeneral merges two per-vertex label sets into their least general
+// common scheme, exactly as the paper's Table 4 ("minimum common father
+// labels"): for every cross pair of terms the minimum-weight lowest common
+// ancestor is taken, and the results are unioned. An empty side yields the
+// other side unchanged (unannotated proteins inherit labels, per the paper).
+// The result is capped to maxTerms lowest-weight (most specific) terms when
+// maxTerms > 0.
+func LeastGeneral(o *ontology.Ontology, w ontology.Weights, a, b []int32, maxTerms int) []int32 {
+	if len(a) == 0 {
+		return capTerms(o, w, dedup(b), maxTerms)
+	}
+	if len(b) == 0 {
+		return capTerms(o, w, dedup(a), maxTerms)
+	}
+	seen := map[int32]bool{}
+	var cand []int32
+	for _, ta := range a {
+		for _, tb := range b {
+			m := o.LCA(w, int(ta), int(tb))
+			if m < 0 || seen[int32(m)] {
+				continue
+			}
+			// Root-weight ancestors (w = 1) are kept here deliberately:
+			// they mark over-generalized vertices and drive the border
+			// stopping rule. The labeler strips them from emitted schemes.
+			seen[int32(m)] = true
+			cand = append(cand, int32(m))
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	return capTerms(o, w, cand, maxTerms)
+}
+
+// MinimalFrontier removes every term that is a proper ancestor of another
+// term in the set, leaving the most specific cover. Exposed for callers
+// that want compact schemes (the paper's Table 4 keeps the full union).
+func MinimalFrontier(o *ontology.Ontology, ts []int32) []int32 {
+	return minimalFrontier(o, ts)
+}
+
+// minimalFrontier removes every term that is a proper ancestor of another
+// term in the set, leaving the most specific cover.
+func minimalFrontier(o *ontology.Ontology, ts []int32) []int32 {
+	var out []int32
+	for _, t := range ts {
+		minimal := true
+		for _, u := range ts {
+			if u != t && o.IsAncestorOrSelf(int(t), int(u)) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// capTerms keeps at most maxTerms terms, preferring the most specific
+// (lowest weight); ties break on term index for determinism.
+func capTerms(o *ontology.Ontology, w ontology.Weights, ts []int32, maxTerms int) []int32 {
+	if maxTerms <= 0 || len(ts) <= maxTerms {
+		return ts
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		wi, wj := w[ts[i]], w[ts[j]]
+		if wi != wj {
+			return wi < wj
+		}
+		return ts[i] < ts[j]
+	})
+	ts = ts[:maxTerms]
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+func dedup(ts []int32) []int32 {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := append([]int32(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[k-1] {
+			out[k] = out[i]
+			k++
+		}
+	}
+	return out[:k]
+}
+
+// Conforms reports whether the labeling scheme (per-vertex label sets)
+// conforms to an occurrence's direct annotations under the given vertex
+// pairing semantics: every scheme term must be equal to or more general than
+// some annotation of the corresponding occurrence vertex. Vertices with an
+// empty scheme ("unknown") conform trivially, as do unannotated occurrence
+// vertices (the paper derives their labels from the other occurrences).
+func Conforms(o *ontology.Ontology, scheme [][]int32, occLabels [][]int32) bool {
+	for v := range scheme {
+		if len(scheme[v]) == 0 || len(occLabels[v]) == 0 {
+			continue
+		}
+		for _, st := range scheme[v] {
+			ok := false
+			for _, at := range occLabels[v] {
+				if o.IsAncestorOrSelf(int(st), int(at)) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

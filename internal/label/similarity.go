@@ -1,0 +1,129 @@
+// Package label implements LaMoFinder, the paper's core contribution:
+// assigning GO labels to the vertices of network motifs so that the labeled
+// subgraphs still occur frequently in the annotated PPI network. It covers
+// GO-based vertex and occurrence similarity (Eqs. 1-3), symmetry-aware
+// vertex pairing, agglomerative clustering of occurrences with least-general
+// labeling schemes, and the border-informative-FC stopping rule
+// (Algorithms 1-2).
+package label
+
+import (
+	"lamofinder/internal/cluster"
+	"lamofinder/internal/ontology"
+)
+
+// UnknownSim is the neutral similarity used when one of the two vertices has
+// no GO annotation; the paper lets unannotated proteins join any cluster and
+// take their labels from the annotated occurrences.
+const UnknownSim = 0.5
+
+// Sim computes GO-based similarities with memoized Lin term scores.
+type Sim struct {
+	o  *ontology.Ontology
+	w  ontology.Weights
+	st map[uint64]float64
+}
+
+// NewSim returns a similarity calculator over the given ontology/weights.
+func NewSim(o *ontology.Ontology, w ontology.Weights) *Sim {
+	return &Sim{o: o, w: w, st: map[uint64]float64{}}
+}
+
+// Term returns the Lin similarity ST(ta, tb) (Eq. 1), memoized.
+func (s *Sim) Term(ta, tb int) float64 {
+	if ta > tb {
+		ta, tb = tb, ta
+	}
+	key := uint64(ta)<<32 | uint64(uint32(tb))
+	if v, ok := s.st[key]; ok {
+		return v
+	}
+	v := s.o.Lin(s.w, ta, tb)
+	s.st[key] = v
+	return v
+}
+
+// Vertex returns SV(vi, vj) (Eq. 2) for two direct-annotation term sets:
+// 1 - prod(1 - ST(ta, tb)) over all cross pairs. One good term match makes
+// the vertices similar. Empty sets score UnknownSim.
+func (s *Sim) Vertex(ta, tb []int32) float64 {
+	if len(ta) == 0 || len(tb) == 0 {
+		return UnknownSim
+	}
+	prod := 1.0
+	for _, a := range ta {
+		for _, b := range tb {
+			prod *= 1 - s.Term(int(a), int(b))
+			if prod == 0 {
+				return 1
+			}
+		}
+	}
+	return 1 - prod
+}
+
+// Occurrence returns SO(oi, oj) (Eq. 3) between two labeled vertex
+// sequences, plus the vertex pairing that achieves it: pairing[i] is the
+// position in B matched to position i of A. labelsA and labelsB give the
+// term set at each motif vertex position; sym carries the pattern's
+// symmetry structure. When per-orbit assignment spans exactly the
+// automorphism group, each orbit's optimal pairing is found by Hungarian
+// assignment (the paper's max over pair(Ia, Ib)); otherwise the pairing
+// ranges over explicit automorphisms so that occurrence correspondence
+// remains a valid embedding.
+func (s *Sim) Occurrence(labelsA, labelsB [][]int32, sym *Symmetry) (so float64, pairing []int) {
+	nv := len(labelsA)
+	if sym.ExactOrbitPairing() {
+		pairing = make([]int, nv)
+		total := 0.0
+		for _, orb := range sym.Orbits {
+			if len(orb) == 1 {
+				v := orb[0]
+				pairing[v] = v
+				total += s.Vertex(labelsA[v], labelsB[v])
+				continue
+			}
+			score := make([][]float64, len(orb))
+			for i, va := range orb {
+				score[i] = make([]float64, len(orb))
+				for j, vb := range orb {
+					score[i][j] = s.Vertex(labelsA[va], labelsB[vb])
+				}
+			}
+			assign, sum := cluster.MaxAssignment(score)
+			for i, va := range orb {
+				pairing[va] = orb[assign[i]]
+			}
+			total += sum
+		}
+		return total / float64(nv), pairing
+	}
+	// Automorphism search: cache SV values, then score each permutation.
+	sv := make([][]float64, nv)
+	for i := 0; i < nv; i++ {
+		sv[i] = make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			sv[i][j] = -1
+		}
+	}
+	get := func(i, j int) float64 {
+		if sv[i][j] < 0 {
+			sv[i][j] = s.Vertex(labelsA[i], labelsB[j])
+		}
+		return sv[i][j]
+	}
+	best := -1.0
+	var bestPerm []int
+	for _, perm := range sym.Auts {
+		total := 0.0
+		for v := 0; v < nv; v++ {
+			total += get(v, perm[v])
+		}
+		if total > best {
+			best = total
+			bestPerm = perm
+		}
+	}
+	pairing = append([]int(nil), bestPerm...)
+	return best / float64(nv), pairing
+}

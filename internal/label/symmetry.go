@@ -1,0 +1,66 @@
+package label
+
+import "lamofinder/internal/graph"
+
+// maxAuts caps the number of enumerated automorphisms; patterns whose group
+// is larger fall back to a best-of-cap heuristic (the paper relies on a
+// polynomial symmetry heuristic from PIGALE with the same flavor).
+const maxAuts = 5040 // 7!
+
+// Symmetry captures the symmetric-vertex structure of a motif pattern used
+// by occurrence pairing: the automorphism orbits ("symmetry sets") and,
+// when per-orbit pairing is not exact, the explicit automorphism list.
+type Symmetry struct {
+	// Orbits partitions pattern vertices into automorphism orbits.
+	Orbits [][]int
+	// Auts is nil when every orbit-wise permutation is an automorphism (the
+	// per-orbit optimal assignment is then exact); otherwise it enumerates
+	// the automorphism group (capped at maxAuts).
+	Auts [][]int
+}
+
+// NewSymmetry analyzes a pattern. When the product of orbit-size factorials
+// equals the automorphism group order, orbit-wise pairing is exact (stars,
+// paths, cliques); otherwise (cycles, most meso-scale shapes) pairings must
+// range over explicit automorphisms to keep occurrence correspondence valid.
+func NewSymmetry(p *graph.Dense) *Symmetry {
+	orbits := graph.Orbits(p)
+	product := 1
+	for _, orb := range orbits {
+		for k := 2; k <= len(orb); k++ {
+			product *= k
+			if product > maxAuts {
+				product = maxAuts + 1
+				break
+			}
+		}
+		if product > maxAuts {
+			break
+		}
+	}
+	cap := product
+	if cap > maxAuts {
+		cap = maxAuts
+	}
+	auts := graph.Automorphisms(p, cap+1)
+	if len(auts) == product && product <= maxAuts {
+		// Orbit-wise assignment spans exactly the automorphism group.
+		return &Symmetry{Orbits: orbits}
+	}
+	return &Symmetry{Orbits: orbits, Auts: auts}
+}
+
+// ExactOrbitPairing reports whether per-orbit assignment is exact for this
+// pattern.
+func (sy *Symmetry) ExactOrbitPairing() bool { return sy.Auts == nil }
+
+// NewSymmetryFromGroup builds a Symmetry from an externally computed orbit
+// partition and automorphism list — the hook that lets directed (or
+// otherwise decorated) patterns reuse the labeling machinery. When exact is
+// true the automorphism list may be nil and per-orbit assignment is used.
+func NewSymmetryFromGroup(orbits [][]int, auts [][]int, exact bool) *Symmetry {
+	if exact {
+		return &Symmetry{Orbits: orbits}
+	}
+	return &Symmetry{Orbits: orbits, Auts: auts}
+}

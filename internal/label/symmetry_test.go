@@ -1,0 +1,198 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"lamofinder/internal/dataset"
+	"lamofinder/internal/graph"
+)
+
+func TestSymmetryStarUsesOrbitPairing(t *testing.T) {
+	// Star S5: center + 5 leaves. All leaf permutations are automorphisms
+	// (5! = 120 = product of orbit factorials), so orbit pairing is exact.
+	d := graph.NewDense(6)
+	for v := 1; v < 6; v++ {
+		d.AddEdge(0, v)
+	}
+	sy := NewSymmetry(d)
+	if !sy.ExactOrbitPairing() {
+		t.Error("star should use exact orbit pairing")
+	}
+	if len(sy.Orbits) != 2 {
+		t.Errorf("orbits = %v", sy.Orbits)
+	}
+}
+
+func TestSymmetryCycleEnumeratesAutomorphisms(t *testing.T) {
+	// C5: one orbit of 5 vertices (5! = 120 candidate pairings) but only 10
+	// automorphisms -> must enumerate.
+	d := graph.NewDense(5)
+	for i := 0; i < 5; i++ {
+		d.AddEdge(i, (i+1)%5)
+	}
+	sy := NewSymmetry(d)
+	if sy.ExactOrbitPairing() {
+		t.Fatal("C5 must enumerate automorphisms")
+	}
+	if len(sy.Auts) != 10 {
+		t.Errorf("|Aut(C5)| = %d, want 10", len(sy.Auts))
+	}
+}
+
+func TestSymmetryTailedTriangle(t *testing.T) {
+	// Triangle {0,1,2} with tail 3 at vertex 2: one swap 0<->1, so orbits
+	// are {0,1},{2},{3} and orbit pairing is exact (2 = 2!).
+	d := graph.NewDense(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(0, 2)
+	sy := NewSymmetry(d)
+	if len(sy.Orbits) != 3 {
+		t.Errorf("orbits = %v, want {0,1},{2},{3}", sy.Orbits)
+	}
+	if !sy.ExactOrbitPairing() {
+		t.Error("single-swap group should use orbit pairing")
+	}
+}
+
+func TestSymmetryExactnessConsistent(t *testing.T) {
+	// Property: whenever orbit pairing is claimed exact, the automorphism
+	// count equals the product of orbit-size factorials.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(6)
+		d := graph.NewDense(n)
+		for v := 1; v < n; v++ {
+			d.AddEdge(v, rng.Intn(v))
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				d.AddEdge(a, b)
+			}
+		}
+		sy := NewSymmetry(d)
+		if !sy.ExactOrbitPairing() {
+			continue
+		}
+		prod := 1
+		for _, orb := range sy.Orbits {
+			for k := 2; k <= len(orb); k++ {
+				prod *= k
+			}
+		}
+		if got := len(graph.Automorphisms(d, 0)); got != prod {
+			t.Fatalf("trial %d: exact pairing claimed but |Aut|=%d, orbit product=%d",
+				trial, got, prod)
+		}
+	}
+}
+
+func TestOccurrencePairingAlwaysAutomorphism(t *testing.T) {
+	// Property: for random patterns, the pairing returned by Occurrence
+	// maps pattern edges to pattern edges (it is an automorphism), so
+	// permuted occurrences remain valid embeddings.
+	rng := rand.New(rand.NewSource(31))
+	pe := testExample(t)
+	s := NewSim(pe.Ontology, pe.Weights())
+	terms := allTerms(pe)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		d := graph.NewDense(n)
+		for v := 1; v < n; v++ {
+			d.AddEdge(v, rng.Intn(v))
+		}
+		for e := 0; e < n/2; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				d.AddEdge(a, b)
+			}
+		}
+		sy := NewSymmetry(d)
+		la := randomLabels(n, terms, rng)
+		lb := randomLabels(n, terms, rng)
+		_, pairing := s.Occurrence(la, lb, sy)
+		// pairing must be a permutation preserving adjacency.
+		seen := make([]bool, n)
+		for _, p := range pairing {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("trial %d: not a permutation: %v", trial, pairing)
+			}
+			seen[p] = true
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.HasEdge(i, j) != d.HasEdge(pairing[i], pairing[j]) {
+					t.Fatalf("trial %d: pairing %v not an automorphism of %v",
+						trial, pairing, d)
+				}
+			}
+		}
+	}
+}
+
+func TestOccurrenceSimilaritySymmetric(t *testing.T) {
+	// Property: SO(a,b) == SO(b,a) (the optimal pairing is invertible).
+	rng := rand.New(rand.NewSource(17))
+	pe := testExample(t)
+	s := NewSim(pe.Ontology, pe.Weights())
+	terms := allTerms(pe)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		d := graph.NewDense(n)
+		for v := 1; v < n; v++ {
+			d.AddEdge(v, rng.Intn(v))
+		}
+		sy := NewSymmetry(d)
+		la := randomLabels(n, terms, rng)
+		lb := randomLabels(n, terms, rng)
+		ab, _ := s.Occurrence(la, lb, sy)
+		ba, _ := s.Occurrence(lb, la, sy)
+		if diff := ab - ba; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: SO not symmetric: %v vs %v", trial, ab, ba)
+		}
+	}
+}
+
+func TestOccurrenceSimilarityIdentical(t *testing.T) {
+	pe := testExample(t)
+	s := NewSim(pe.Ontology, pe.Weights())
+	d := graph.NewDense(3)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	sy := NewSymmetry(d)
+	la := [][]int32{{int32(pe.Term("G04"))}, {int32(pe.Term("G09"))}, {int32(pe.Term("G10"))}}
+	so, _ := s.Occurrence(la, la, sy)
+	if so < 0.999 {
+		t.Errorf("self similarity = %v, want 1", so)
+	}
+}
+
+// testExample loads the paper fixture for similarity tests.
+func testExample(t *testing.T) *dataset.PaperExample {
+	t.Helper()
+	return dataset.NewPaperExample()
+}
+
+// randomLabels draws a random non-empty term set per vertex (occasionally
+// empty, exercising the unknown path).
+func randomLabels(n int, terms []int32, rng *rand.Rand) [][]int32 {
+	out := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		k := rng.Intn(4)
+		for i := 0; i < k; i++ {
+			out[v] = append(out[v], terms[rng.Intn(len(terms))])
+		}
+	}
+	return out
+}
+
+func allTerms(pe *dataset.PaperExample) []int32 {
+	out := make([]int32, pe.Ontology.NumTerms())
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package motif
+
+import (
+	"sort"
+
+	"lamofinder/internal/graph"
+)
+
+// EnumerateESU enumerates every connected vertex set of size k exactly once
+// (Wernicke's ESU algorithm, the core of FANMOD) and calls visit with the
+// sorted vertex set. visit may return false to stop the enumeration early.
+func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
+	if k <= 0 {
+		return
+	}
+	n := g.N()
+	sub := make([]int32, 0, k)
+	stopped := false
+
+	var extend func(ext []int32, root int32)
+	extend = func(ext []int32, root int32) {
+		if stopped {
+			return
+		}
+		if len(sub) == k {
+			vs := append([]int32(nil), sub...)
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			if !visit(vs) {
+				stopped = true
+			}
+			return
+		}
+		// Iterate over a private copy: we shrink ext as we consume choices
+		// to maintain ESU's "each set once" guarantee.
+		for len(ext) > 0 {
+			w := ext[len(ext)-1]
+			ext = ext[:len(ext)-1]
+			// Build the extension for the recursive call: ext plus the
+			// exclusive neighbors of w (neighbors > root not adjacent to
+			// the current subgraph).
+			next := append([]int32(nil), ext...)
+			for _, u := range g.Neighbors(int(w)) {
+				if u <= root {
+					continue
+				}
+				if contains(sub, u) || u == w {
+					continue
+				}
+				// u must not be adjacent to any current subgraph vertex
+				// (otherwise it is already in some extension set).
+				excl := true
+				for _, s := range sub {
+					if g.HasEdge(int(u), int(s)) {
+						excl = false
+						break
+					}
+				}
+				if excl && !contains(next, u) {
+					next = append(next, u)
+				}
+			}
+			sub = append(sub, w)
+			extend(next, root)
+			sub = sub[:len(sub)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		var ext []int32
+		for _, u := range g.Neighbors(v) {
+			if u > int32(v) {
+				ext = append(ext, u)
+			}
+		}
+		sub = append(sub[:0], int32(v))
+		extend(ext, int32(v))
+		if stopped {
+			return
+		}
+	}
+}
+
+func contains(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// CensusESU counts, per isomorphism class, the connected induced size-k
+// subgraphs of g, returning class representatives with frequencies and up to
+// maxOcc stored occurrences per class (0 = store all). This is the exact
+// small-k counterpart of the meso-scale miner.
+func CensusESU(g *graph.Graph, k, maxOcc int) []*Motif {
+	cl := graph.NewClassifier()
+	byClass := map[int]*Motif{}
+	EnumerateESU(g, k, func(vs []int32) bool {
+		d := g.Induced(vs)
+		id := cl.Classify(d)
+		m := byClass[id]
+		if m == nil {
+			m = &Motif{Pattern: cl.Rep(id), Uniqueness: -1}
+			byClass[id] = m
+		}
+		m.Frequency++
+		if maxOcc == 0 || len(m.Occurrences) < maxOcc {
+			mp := graph.IsoMapping(m.Pattern, d)
+			occ := make([]int32, len(vs))
+			for i := range vs {
+				occ[i] = vs[mp[i]]
+			}
+			m.Occurrences = append(m.Occurrences, occ)
+		}
+		return true
+	})
+	out := make([]*Motif, 0, len(byClass))
+	for _, m := range byClass {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frequency > out[j].Frequency })
+	return out
+}

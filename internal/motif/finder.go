@@ -1,0 +1,266 @@
+package motif
+
+import (
+	"math/rand"
+	"sort"
+
+	"lamofinder/internal/graph"
+)
+
+// Config controls the meso-scale miner.
+type Config struct {
+	// MinSize and MaxSize bound the pattern sizes reported (inclusive).
+	// NeMoFinder-style runs use 3..20.
+	MinSize, MaxSize int
+	// MinFreq is the frequency threshold: patterns with fewer distinct
+	// vertex sets are pruned (the paper uses 100 on the BIND network).
+	MinFreq int
+	// BeamWidth caps the number of pattern classes carried to the next
+	// level (highest frequency first). 0 means no cap. NeMoFinder prunes by
+	// repeated trees; we prune by beam, an approximation documented in
+	// DESIGN.md.
+	BeamWidth int
+	// MaxOccPerClass caps the stored (and grown) occurrence list per class
+	// by reservoir sampling. 0 means unlimited. Capping bounds memory and
+	// time at meso-scale; because levels grow only from stored occurrences,
+	// deeper levels' frequencies become lower bounds under a cap.
+	MaxOccPerClass int
+	// DenseBeamFraction is the share of beam slots reserved for the densest
+	// (most-edge) classes rather than the most frequent. Density is a cheap
+	// proxy for over-representation: at meso-scale, pure frequency floods
+	// the beam with generic tree-like shapes while complex-like motifs
+	// starve. 0 selects purely by frequency; 0.5 is a good meso-scale
+	// setting.
+	DenseBeamFraction float64
+	// Seed drives occurrence subsampling when lists overflow.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's mining setup at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{
+		MinSize:           3,
+		MaxSize:           20,
+		MinFreq:           100,
+		BeamWidth:         60,
+		MaxOccPerClass:    400,
+		DenseBeamFraction: 0.5,
+		Seed:              1,
+	}
+}
+
+// classState is a pattern class being grown at the current level.
+type classState struct {
+	pattern *graph.Dense
+	occs    [][]int32 // pattern-ordered occurrences
+	freq    int       // distinct vertex sets seen (may exceed len(occs))
+}
+
+// Find mines frequent connected patterns of g level-by-level: every class's
+// occurrences are extended by one adjacent vertex, regrouped by isomorphism
+// class, pruned by MinFreq, and capped by BeamWidth. It returns all classes
+// in [MinSize, MaxSize] meeting MinFreq, smallest size first, most frequent
+// first within a size. Uniqueness is left at -1; see ScoreUniqueness.
+func Find(g *graph.Graph, cfg Config) []*Motif {
+	if cfg.MinSize < 2 {
+		cfg.MinSize = 2
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Adjacency bit matrix for O(1) edge tests during induced-subgraph
+	// construction (the hottest inner loop at meso-scale).
+	words := (g.N() + 63) / 64
+	bitadj := make([]uint64, g.N()*words)
+	for u := 0; u < g.N(); u++ {
+		row := bitadj[u*words : (u+1)*words]
+		for _, v := range g.Neighbors(u) {
+			row[v>>6] |= 1 << uint(v&63)
+		}
+	}
+	hasEdge := func(u, v int32) bool {
+		return bitadj[int(u)*words+int(v>>6)]&(1<<uint(v&63)) != 0
+	}
+	induced := func(vs []int32) *graph.Dense {
+		d := graph.NewDense(len(vs))
+		for i := 1; i < len(vs); i++ {
+			for j := 0; j < i; j++ {
+				if hasEdge(vs[i], vs[j]) {
+					d.AddEdge(i, j)
+				}
+			}
+		}
+		return d
+	}
+
+	// Level 2: the single-edge class.
+	edgeClass := &classState{pattern: edgePattern()}
+	for _, e := range g.Edges(nil) {
+		edgeClass.occs = append(edgeClass.occs, []int32{e[0], e[1]})
+	}
+	edgeClass.freq = len(edgeClass.occs)
+	level := []*classState{edgeClass}
+	subsample(edgeClass, cfg.MaxOccPerClass, rng)
+
+	var out []*Motif
+	emit := func(cs *classState, size int) {
+		if size >= cfg.MinSize && cs.freq >= cfg.MinFreq {
+			out = append(out, &Motif{
+				Pattern:     cs.pattern,
+				Occurrences: cs.occs,
+				Frequency:   cs.freq,
+				Uniqueness:  -1,
+			})
+		}
+	}
+	if cfg.MinSize <= 2 && edgeClass.freq >= cfg.MinFreq {
+		emit(edgeClass, 2)
+	}
+
+	for size := 3; size <= cfg.MaxSize && len(level) > 0; size++ {
+		cl := graph.NewClassifier()
+		next := map[int]*classState{}
+		seenSets := map[string]bool{}
+		sortedOcc := make([]int32, 0, size)
+		keyBuf := make([]byte, 4*size)
+		vsBuf := make([]int32, size)
+		for _, cs := range level {
+			for _, occ := range cs.occs {
+				sortedOcc = append(sortedOcc[:0], occ...)
+				sort.Slice(sortedOcc, func(i, j int) bool { return sortedOcc[i] < sortedOcc[j] })
+				for _, v := range occ {
+					for _, w := range g.Neighbors(int(v)) {
+						if contains(occ, w) {
+							continue
+						}
+						// Build the sorted candidate set (sortedOcc with w
+						// inserted) and its dedup key without allocating.
+						vs := vsBuf
+						pos := 0
+						for pos < len(sortedOcc) && sortedOcc[pos] < w {
+							vs[pos] = sortedOcc[pos]
+							pos++
+						}
+						vs[pos] = w
+						copy(vs[pos+1:], sortedOcc[pos:])
+						for i, x := range vs {
+							keyBuf[4*i] = byte(x)
+							keyBuf[4*i+1] = byte(x >> 8)
+							keyBuf[4*i+2] = byte(x >> 16)
+							keyBuf[4*i+3] = byte(x >> 24)
+						}
+						if seenSets[string(keyBuf)] {
+							continue
+						}
+						seenSets[string(keyBuf)] = true
+						d := induced(vs)
+						id := cl.Classify(d)
+						ns := next[id]
+						if ns == nil {
+							ns = &classState{pattern: cl.Rep(id)}
+							next[id] = ns
+						}
+						ns.freq++
+						// Reservoir-sample the occurrence list so the kept
+						// occurrences are an unbiased sample of all distinct
+						// vertex sets, not just the first ones discovered.
+						slot := -1
+						if cfg.MaxOccPerClass == 0 || len(ns.occs) < cfg.MaxOccPerClass {
+							slot = len(ns.occs)
+							ns.occs = append(ns.occs, nil)
+						} else if r := rng.Intn(ns.freq); r < cfg.MaxOccPerClass {
+							slot = r
+						}
+						if slot >= 0 {
+							mp := graph.IsoMapping(ns.pattern, d)
+							no := make([]int32, len(vs))
+							for i := range vs {
+								no[i] = vs[mp[i]]
+							}
+							ns.occs[slot] = no
+						}
+					}
+				}
+			}
+		}
+		// Prune and select the beam. Half the slots go to the most frequent
+		// classes, half to the densest (most edges): density is the best
+		// cheap proxy for over-representation, and pure frequency selection
+		// floods the beam with generic tree-like shapes at meso-scale while
+		// the complex-like motifs (the ones that survive the null model)
+		// starve.
+		var kept []*classState
+		for _, ns := range next {
+			if ns.freq >= cfg.MinFreq {
+				kept = append(kept, ns)
+			}
+		}
+		byFreq := func(i, j int) bool {
+			if kept[i].freq != kept[j].freq {
+				return kept[i].freq > kept[j].freq
+			}
+			return kept[i].pattern.String() < kept[j].pattern.String()
+		}
+		sort.Slice(kept, byFreq)
+		if cfg.BeamWidth > 0 && len(kept) > cfg.BeamWidth {
+			half := cfg.BeamWidth - int(float64(cfg.BeamWidth)*cfg.DenseBeamFraction)
+			selected := make([]*classState, 0, cfg.BeamWidth)
+			chosen := map[*classState]bool{}
+			for _, ns := range kept[:half] {
+				selected = append(selected, ns)
+				chosen[ns] = true
+			}
+			rest := append([]*classState(nil), kept[half:]...)
+			sort.Slice(rest, func(i, j int) bool {
+				mi, mj := rest[i].pattern.M(), rest[j].pattern.M()
+				if mi != mj {
+					return mi > mj
+				}
+				if rest[i].freq != rest[j].freq {
+					return rest[i].freq > rest[j].freq
+				}
+				return rest[i].pattern.String() < rest[j].pattern.String()
+			})
+			for _, ns := range rest {
+				if len(selected) >= cfg.BeamWidth {
+					break
+				}
+				if !chosen[ns] {
+					selected = append(selected, ns)
+				}
+			}
+			kept = selected
+			sort.Slice(kept, byFreq)
+		}
+		for _, ns := range kept {
+			emit(ns, size)
+		}
+		level = kept
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() < out[j].Size()
+		}
+		return out[i].Frequency > out[j].Frequency
+	})
+	return out
+}
+
+// subsample truncates the occurrence list to max items chosen uniformly.
+func subsample(cs *classState, max int, rng *rand.Rand) {
+	if max <= 0 || len(cs.occs) <= max {
+		return
+	}
+	rng.Shuffle(len(cs.occs), func(i, j int) {
+		cs.occs[i], cs.occs[j] = cs.occs[j], cs.occs[i]
+	})
+	cs.occs = cs.occs[:max]
+}
+
+func edgePattern() *graph.Dense {
+	d := graph.NewDense(2)
+	d.AddEdge(0, 1)
+	return d
+}

@@ -1,0 +1,164 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+
+	"lamofinder/internal/graph"
+	"lamofinder/internal/randnet"
+)
+
+func TestTreeCanonicalKeyBasics(t *testing.T) {
+	// Paths of equal length are isomorphic; a path and a star of the same
+	// size are not.
+	path := graph.NewDense(4)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	path.AddEdge(2, 3)
+	path2 := graph.NewDense(4)
+	path2.AddEdge(3, 1)
+	path2.AddEdge(1, 0)
+	path2.AddEdge(0, 2)
+	star := graph.NewDense(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	k1, ok1 := graph.TreeCanonicalKey(path)
+	k2, ok2 := graph.TreeCanonicalKey(path2)
+	k3, ok3 := graph.TreeCanonicalKey(star)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("trees not recognized")
+	}
+	if k1 != k2 {
+		t.Errorf("isomorphic paths: %q vs %q", k1, k2)
+	}
+	if k1 == k3 {
+		t.Error("path and star share tree key")
+	}
+	// Non-trees rejected.
+	tri := graph.NewDense(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	if _, ok := graph.TreeCanonicalKey(tri); ok {
+		t.Error("cycle accepted as tree")
+	}
+	disc := graph.NewDense(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, ok := graph.TreeCanonicalKey(disc); ok {
+		t.Error("forest accepted as tree")
+	}
+}
+
+func TestTreeCanonicalKeyMatchesIsomorphism(t *testing.T) {
+	// Property: for random trees, AHU keys agree with general isomorphism.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(9)
+		a := randomTree(n, rng)
+		b := randomTree(n, rng)
+		ka, _ := graph.TreeCanonicalKey(a)
+		kb, _ := graph.TreeCanonicalKey(b)
+		if (ka == kb) != graph.Isomorphic(a, b) {
+			t.Fatalf("trial %d: AHU (%v) disagrees with isomorphism (%v)\n%v\n%v",
+				trial, ka == kb, graph.Isomorphic(a, b), a, b)
+		}
+		// Permuted copies share the key.
+		p := a.Permute(rng.Perm(n))
+		kp, _ := graph.TreeCanonicalKey(p)
+		if ka != kp {
+			t.Fatalf("trial %d: permuted tree key differs", trial)
+		}
+	}
+}
+
+func randomTree(n int, rng *rand.Rand) *graph.Dense {
+	d := graph.NewDense(n)
+	for v := 1; v < n; v++ {
+		d.AddEdge(v, rng.Intn(v))
+	}
+	return d
+}
+
+func TestSpanningTree(t *testing.T) {
+	d := graph.NewDense(5)
+	for i := 0; i < 5; i++ {
+		d.AddEdge(i, (i+1)%5)
+	}
+	d.AddEdge(0, 2)
+	st := d.SpanningTree()
+	if !st.IsTree() {
+		t.Fatalf("spanning tree is not a tree: %v", st)
+	}
+	// Every tree edge must be a graph edge.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if st.HasEdge(i, j) && !d.HasEdge(i, j) {
+				t.Errorf("phantom tree edge (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNeMoFindMatchesCensusSmall(t *testing.T) {
+	// With no caps, NeMoFind must report exactly the classes and
+	// frequencies of the exact ESU census.
+	rng := rand.New(rand.NewSource(25))
+	g := randnet.ErdosRenyi(50, 100, rng)
+	for k := 3; k <= 4; k++ {
+		nemo := NeMoFind(g, NeMoConfig{MinSize: k, MaxSize: k, MinFreq: 1, Seed: 1})
+		exact := CensusESU(g, k, 0)
+		if len(nemo) != len(exact) {
+			t.Fatalf("k=%d: NeMo %d classes, census %d", k, len(nemo), len(exact))
+		}
+		exactBy := map[uint64]int{}
+		for _, m := range exact {
+			exactBy[graph.Invariant(m.Pattern)] += m.Frequency
+		}
+		for _, m := range nemo {
+			if got, want := m.Frequency, exactBy[graph.Invariant(m.Pattern)]; got != want {
+				t.Errorf("k=%d pattern %v: NeMo freq %d, census %d", k, m.Pattern, got, want)
+			}
+		}
+	}
+}
+
+func TestNeMoFindPlantedCliques(t *testing.T) {
+	g := graph.New(300)
+	for i := 0; i < 300; i++ {
+		g.AddEdge(i, (i+1)%300)
+	}
+	for c := 0; c < 25; c++ {
+		base := c * 5
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	ms := NeMoFind(g, NeMoConfig{MinSize: 4, MaxSize: 4, MinFreq: 20, MaxTreeClasses: 50, MaxOccPerTree: 500, Seed: 1})
+	var clique *Motif
+	for _, m := range ms {
+		if m.Pattern.M() == 6 {
+			clique = m
+		}
+	}
+	if clique == nil {
+		t.Fatal("planted 4-clique not found by NeMoFind")
+	}
+	if clique.Frequency < 25 {
+		t.Errorf("clique frequency = %d", clique.Frequency)
+	}
+}
+
+func TestNeMoFindDegenerate(t *testing.T) {
+	if ms := NeMoFind(graph.New(5), NeMoConfig{MinSize: 3, MaxSize: 2, MinFreq: 1}); ms != nil {
+		t.Error("inverted range")
+	}
+	g := ring(10)
+	ms := NeMoFind(g, NeMoConfig{MinSize: 2, MaxSize: 2, MinFreq: 1})
+	if len(ms) != 1 || ms[0].Frequency != 10 {
+		t.Errorf("edge level wrong: %v", ms)
+	}
+}

@@ -1,0 +1,100 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lamofinder/internal/graph"
+	"lamofinder/internal/randnet"
+)
+
+func TestSampleConcentrationsFullProbabilityMatchesCensus(t *testing.T) {
+	// With all probabilities 1, RAND-ESU degenerates to exact ESU.
+	rng := rand.New(rand.NewSource(13))
+	g := randnet.ErdosRenyi(40, 80, rng)
+	probs := []float64{1, 1, 1}
+	cs := SampleConcentrations(g, RandESUConfig{K: 3, Probabilities: probs, Seed: 1})
+	exact := CensusESU(g, 3, 0)
+	if len(cs) != len(exact) {
+		t.Fatalf("classes %d vs %d", len(cs), len(exact))
+	}
+	byKey := map[string]int{}
+	for _, m := range exact {
+		byKey[graph.CanonicalKey(m.Pattern)] = m.Frequency
+	}
+	for _, c := range cs {
+		want := byKey[graph.CanonicalKey(c.Pattern)]
+		if c.Count != want {
+			t.Errorf("class %v count %d, exact %d", c.Pattern, c.Count, want)
+		}
+		if math.Abs(c.EstimatedTotal-float64(want)) > 1e-9 {
+			t.Errorf("class %v estimate %v, exact %d", c.Pattern, c.EstimatedTotal, want)
+		}
+	}
+}
+
+func TestSampleConcentrationsEstimatesUnbiased(t *testing.T) {
+	// Average the extrapolated totals over seeds; they should approach the
+	// exact count within a loose tolerance.
+	rng := rand.New(rand.NewSource(14))
+	g := randnet.BarabasiAlbert(150, 3, 2, rng)
+	exact := CensusESU(g, 3, 0)
+	exactBy := map[string]float64{}
+	var totalExact float64
+	for _, m := range exact {
+		exactBy[graph.CanonicalKey(m.Pattern)] = float64(m.Frequency)
+		totalExact += float64(m.Frequency)
+	}
+	est := map[string]float64{}
+	const runs = 30
+	for seed := int64(0); seed < runs; seed++ {
+		for _, c := range SampleConcentrations(g, RandESUConfig{
+			K: 3, SampleFraction: 0.3, Seed: seed,
+		}) {
+			est[graph.CanonicalKey(c.Pattern)] += c.EstimatedTotal / runs
+		}
+	}
+	for key, want := range exactBy {
+		if want < 50 {
+			continue // rare classes: sampling noise dominates
+		}
+		got := est[key]
+		if math.Abs(got-want)/want > 0.35 {
+			t.Errorf("class %x: estimated %.0f, exact %.0f", key, got, want)
+		}
+	}
+}
+
+func TestSampleConcentrationsShareSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := randnet.ErdosRenyi(80, 200, rng)
+	cs := SampleConcentrations(g, RandESUConfig{K: 4, SampleFraction: 0.2, Seed: 9})
+	if len(cs) == 0 {
+		t.Fatal("no samples")
+	}
+	sum := 0.0
+	for _, c := range cs {
+		if c.Concentration < 0 || c.Concentration > 1 {
+			t.Errorf("concentration out of range: %v", c.Concentration)
+		}
+		sum += c.Concentration
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("concentrations sum to %v", sum)
+	}
+}
+
+func TestSampleConcentrationsDegenerate(t *testing.T) {
+	g := ring(10)
+	if cs := SampleConcentrations(g, RandESUConfig{K: 1}); cs != nil {
+		t.Error("K=1 should return nil")
+	}
+	// Zero sampling fraction falls back to the default 0.1.
+	cs := SampleConcentrations(g, RandESUConfig{K: 3, SampleFraction: -1, Seed: 2})
+	for _, c := range cs {
+		if c.Count <= 0 {
+			t.Errorf("non-positive count: %+v", c)
+		}
+	}
+}

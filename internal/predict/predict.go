@@ -1,0 +1,106 @@
+// Package predict implements protein function prediction from PPI data: the
+// paper's labeled-network-motif method (Eqs. 4-5) and the four published
+// baselines it compares against in Figure 9 — Neighbor Counting
+// (Schwikowski et al.), Chi-square (Hishigaki et al.), PRODISTIN (Brun et
+// al.) and the Markov-random-field method (Deng et al.).
+//
+// All methods score the functions of a protein using only the annotations
+// of *other* proteins, so leave-one-out evaluation needs no refitting.
+package predict
+
+import (
+	"lamofinder/internal/graph"
+)
+
+// Task is a function-prediction benchmark: a PPI network whose proteins
+// carry zero or more functional categories (the paper generalizes GO
+// annotations to the top 13 yeast categories for Figure 9).
+type Task struct {
+	Network      *graph.Graph
+	NumFunctions int
+	// Functions[p] lists protein p's category ids (empty = unannotated).
+	Functions [][]int
+}
+
+// NewTask returns an empty task over the given network.
+func NewTask(g *graph.Graph, numFunctions int) *Task {
+	return &Task{
+		Network:      g,
+		NumFunctions: numFunctions,
+		Functions:    make([][]int, g.N()),
+	}
+}
+
+// Annotated reports whether protein p has at least one category.
+func (t *Task) Annotated(p int) bool { return len(t.Functions[p]) > 0 }
+
+// NumAnnotated returns the number of annotated proteins.
+func (t *Task) NumAnnotated() int {
+	n := 0
+	for _, fs := range t.Functions {
+		if len(fs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether protein p carries function f.
+func (t *Task) Has(p, f int) bool {
+	for _, x := range t.Functions[p] {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Priors returns the fraction of annotated proteins carrying each function.
+func (t *Task) Priors() []float64 {
+	pi := make([]float64, t.NumFunctions)
+	n := 0
+	for p := range t.Functions {
+		if !t.Annotated(p) {
+			continue
+		}
+		n++
+		for _, f := range t.Functions[p] {
+			pi[f]++
+		}
+	}
+	if n == 0 {
+		return pi
+	}
+	for f := range pi {
+		pi[f] /= float64(n)
+	}
+	return pi
+}
+
+// Scorer ranks candidate functions for a protein. Scores must not use the
+// protein's own annotations (leave-one-out semantics): implementations
+// treat the query protein as unannotated.
+type Scorer interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Scores returns one score per function for protein p; higher is more
+	// likely.
+	Scores(p int) []float64
+}
+
+// neighborFunctionCounts tallies, for protein p, how many annotated
+// neighbors carry each function and how many annotated neighbors there are
+// in total, ignoring p's own annotations.
+func neighborFunctionCounts(t *Task, p int) (counts []float64, annotated int) {
+	counts = make([]float64, t.NumFunctions)
+	for _, q := range t.Network.Neighbors(p) {
+		if !t.Annotated(int(q)) {
+			continue
+		}
+		annotated++
+		for _, f := range t.Functions[q] {
+			counts[f]++
+		}
+	}
+	return counts, annotated
+}

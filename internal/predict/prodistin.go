@@ -1,0 +1,148 @@
+package predict
+
+import (
+	"lamofinder/internal/cluster"
+)
+
+// Prodistin is the PRODISTIN method of Brun et al.: proteins are placed in a
+// BIONJ tree built from Czekanowski-Dice distances over interaction
+// neighborhoods; a protein inherits the function distribution of the
+// smallest enclosing subtree with enough annotated members.
+type Prodistin struct {
+	t    *Task
+	tree *cluster.Tree
+	// counts[node][f] = annotated leaves below node carrying f;
+	// annAt[node] = annotated leaves below node.
+	counts [][]float64
+	annAt  []int
+	// MinClassSize is the minimum number of annotated leaves (excluding the
+	// query) a subtree needs to act as a functional class.
+	MinClassSize int
+}
+
+// NewProdistin builds the distance matrix and BIONJ tree (O(n^3); prefer
+// task sizes in the hundreds for interactive use).
+func NewProdistin(t *Task) *Prodistin {
+	n := t.Network.N()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := czekanowskiDice(t, i, j)
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	tree := cluster.NeighborJoining(d)
+	pr := &Prodistin{t: t, tree: tree, MinClassSize: 3}
+	pr.aggregate()
+	return pr
+}
+
+// czekanowskiDice returns the Czekanowski-Dice distance between the closed
+// neighborhoods of proteins i and j: |A Δ B| / (|A| + |B| + |A ∩ B|) with
+// A = N(i) ∪ {i}, B = N(j) ∪ {j}; identical neighborhoods give 0, disjoint
+// ones 1.
+func czekanowskiDice(t *Task, i, j int) float64 {
+	ni, nj := t.Network.Neighbors(i), t.Network.Neighbors(j)
+	inter := 0
+	a, b := 0, 0
+	// Merge-count over sorted lists, treating i and j as members of their
+	// own neighborhoods.
+	ai := append(append([]int32(nil), ni...), int32(i))
+	bj := append(append([]int32(nil), nj...), int32(j))
+	sortInt32(ai)
+	sortInt32(bj)
+	x, y := 0, 0
+	for x < len(ai) && y < len(bj) {
+		switch {
+		case ai[x] == bj[y]:
+			inter++
+			x++
+			y++
+		case ai[x] < bj[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	a, b = len(ai), len(bj)
+	symDiff := a + b - 2*inter
+	den := a + b + inter
+	if den == 0 {
+		return 1
+	}
+	return float64(symDiff) / float64(den)
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// aggregate fills per-node function tallies bottom-up.
+func (pr *Prodistin) aggregate() {
+	nn := pr.tree.NumNodes()
+	pr.counts = make([][]float64, nn)
+	pr.annAt = make([]int, nn)
+	for v := 0; v < nn; v++ {
+		pr.counts[v] = make([]float64, pr.t.NumFunctions)
+	}
+	// Nodes are created leaves-first, so ascending order is child-before-
+	// parent for internal nodes.
+	for v := 0; v < nn; v++ {
+		if v < pr.tree.NumLeaves {
+			if pr.t.Annotated(v) {
+				pr.annAt[v] = 1
+				for _, f := range pr.t.Functions[v] {
+					pr.counts[v][f] = 1
+				}
+			}
+			continue
+		}
+		for _, c := range pr.tree.Children[v] {
+			pr.annAt[v] += pr.annAt[c]
+			for f := range pr.counts[v] {
+				pr.counts[v][f] += pr.counts[c][f]
+			}
+		}
+	}
+}
+
+// Name implements Scorer.
+func (pr *Prodistin) Name() string { return "PRODISTIN" }
+
+// Scores implements Scorer: the function distribution of the smallest
+// ancestor subtree containing at least MinClassSize annotated proteins
+// besides p itself.
+func (pr *Prodistin) Scores(p int) []float64 {
+	out := make([]float64, pr.t.NumFunctions)
+	if p >= pr.tree.NumLeaves {
+		return out
+	}
+	// p's own contribution to subtree tallies, to subtract.
+	ownAnn := 0
+	if pr.t.Annotated(p) {
+		ownAnn = 1
+	}
+	node := pr.tree.Parent[p]
+	for node >= 0 {
+		ann := pr.annAt[node] - ownAnn
+		if ann >= pr.MinClassSize {
+			for f := range out {
+				c := pr.counts[node][f]
+				if ownAnn == 1 && pr.t.Has(p, f) {
+					c--
+				}
+				out[f] = c / float64(ann)
+			}
+			return out
+		}
+		node = pr.tree.Parent[node]
+	}
+	return out
+}
