@@ -1,0 +1,35 @@
+# Tier-1 gates for the LaMoFinder reproduction. CI (.github/workflows/ci.yml)
+# runs `make ci`; the individual targets exist for local iteration.
+
+GO ?= go
+
+# RACEPKGS are the concurrency-bearing packages: uniqueness scoring fans
+# out one goroutine per randomized network (internal/motif/uniqueness.go)
+# on top of the randnet generators.
+RACEPKGS = ./internal/motif/... ./internal/randnet/...
+
+.PHONY: all build vet lamovet lint test race ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lamovet is the project-specific analyzer suite guarding the determinism
+# contract (see DESIGN.md "Static analysis gates"). It is stdlib-only and
+# self-hosted: the repo must pass its own linter.
+lamovet:
+	$(GO) run ./cmd/lamovet ./...
+
+lint: vet lamovet
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACEPKGS)
+
+ci: build lint test race

@@ -24,21 +24,24 @@ func main() {
 	flag.Parse()
 
 	ok := false
-	runOne := func(name string, f func()) {
+	runOne := func(name string, f func() error) {
 		if *run != "all" && *run != name {
 			return
 		}
 		ok = true
 		start := time.Now()
-		f()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	runOne("table1", func() { experiments.Table1().WriteText(os.Stdout) })
-	runOne("table3", func() { experiments.Table3().WriteText(os.Stdout) })
-	runOne("table4", func() { experiments.Table4().WriteText(os.Stdout) })
-	runOne("fig8", func() { experiments.Figure8().WriteText(os.Stdout) })
-	runOne("fig6", func() {
+	runOne("table1", func() error { return experiments.Table1().WriteText(os.Stdout) })
+	runOne("table3", func() error { return experiments.Table3().WriteText(os.Stdout) })
+	runOne("table4", func() error { return experiments.Table4().WriteText(os.Stdout) })
+	runOne("fig8", func() error { return experiments.Figure8().WriteText(os.Stdout) })
+	runOne("fig6", func() error {
 		cfg := experiments.DefaultFigure6Config()
 		if *quick {
 			cfg = experiments.QuickFigure6Config()
@@ -46,16 +49,16 @@ func main() {
 		if *seed != 0 {
 			cfg.Yeast.Seed = *seed
 		}
-		experiments.Figure6(cfg).WriteText(os.Stdout)
+		return experiments.Figure6(cfg).WriteText(os.Stdout)
 	})
-	runOne("fig7", func() {
+	runOne("fig7", func() error {
 		cfg := experiments.DefaultFigure7Config()
 		if *seed != 0 {
 			cfg.Yeast.Seed = *seed
 		}
-		experiments.Figure7(cfg).WriteText(os.Stdout)
+		return experiments.Figure7(cfg).WriteText(os.Stdout)
 	})
-	runOne("fig9", func() {
+	runOne("fig9", func() error {
 		cfg := experiments.DefaultFigure9Config()
 		if *quick {
 			cfg = experiments.QuickFigure9Config()
@@ -63,7 +66,7 @@ func main() {
 		if *seed != 0 {
 			cfg.MIPS.Seed = *seed
 		}
-		experiments.Figure9(cfg).WriteText(os.Stdout)
+		return experiments.Figure9(cfg).WriteText(os.Stdout)
 	})
 
 	if !ok {

@@ -42,7 +42,7 @@ func main() {
 	case *obo != "":
 		f, err := os.Open(*obo)
 		check(err)
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only open; close error is unactionable
 		o, err = ontology.ParseOBO(f)
 		check(err)
 		if *ann == "" || *namesFile == "" {
@@ -52,7 +52,7 @@ func main() {
 		check(err)
 		af, err := os.Open(*ann)
 		check(err)
-		defer af.Close()
+		defer func() { _ = af.Close() }() // read-only open; close error is unactionable
 		corpus, skipped, err := dataset.LoadAnnotations(af, o, names)
 		check(err)
 		fmt.Printf("%d annotations skipped\n", skipped)
@@ -118,7 +118,7 @@ func readLines(path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open; close error is unactionable
 	var out []string
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {

@@ -47,18 +47,18 @@ func main() {
 		}
 		ef, err := os.Open(*edges)
 		check(err)
-		defer ef.Close()
+		defer func() { _ = ef.Close() }() // read-only open; close error is unactionable
 		var names []string
 		net, names, err = dataset.LoadEdgeList(ef)
 		check(err)
 		of, err := os.Open(*obo)
 		check(err)
-		defer of.Close()
+		defer func() { _ = of.Close() }() // read-only open; close error is unactionable
 		o, err = ontology.ParseOBO(of)
 		check(err)
 		af, err := os.Open(*ann)
 		check(err)
-		defer af.Close()
+		defer func() { _ = af.Close() }() // read-only open; close error is unactionable
 		var skipped int
 		corpus, skipped, err = dataset.LoadAnnotations(af, o, names)
 		check(err)

@@ -1,0 +1,84 @@
+// Command lamovet runs the project-specific static analysis suite guarding
+// the LaMoFinder determinism contract (see DESIGN.md "Static analysis
+// gates"). It is stdlib-only and loads packages itself, so it runs with
+// `go run ./cmd/lamovet ./...` on a dependency-free checkout.
+//
+// Usage:
+//
+//	lamovet [-rules determinism,mapiter,floateq,errdrop,nopanic] [-list] [patterns...]
+//
+// Patterns follow the go tool ("./...", "./internal/graph"); with no
+// patterns the whole module is analyzed. Exit status is 1 if any analyzer
+// reports a finding, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamofinder/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lamovet [-rules a,b] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lamovet:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lamovet:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lamovet:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(root)
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lamovet:", err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "lamovet: no packages match %v\n", patterns)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lamovet:", err)
+			os.Exit(2)
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			bad = true
+			fmt.Println(d)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -40,7 +40,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only open; close error is unactionable
 		net, _, err = dataset.LoadEdgeList(f)
 		if err != nil {
 			fatalf("%v", err)

@@ -46,6 +46,9 @@ func main() {
 		cfg.IncludeGibbs = true
 	}
 	start := time.Now()
-	experiments.Figure9(cfg).WriteText(os.Stdout)
+	if err := experiments.Figure9(cfg).WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "predictfn: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("[%v]\n", time.Since(start).Round(time.Millisecond))
 }

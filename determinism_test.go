@@ -1,0 +1,88 @@
+package lamofinder
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// runPaperPipeline executes the full pipeline on the paper-example
+// dataset — mine motifs, score uniqueness against randomized networks
+// (the parallel code path), label with LaMoFinder, predict functions —
+// and serializes every stage into one byte stream.
+func runPaperPipeline() ([]byte, error) {
+	pe := PaperExample()
+
+	mineCfg := DefaultMineConfig()
+	mineCfg.MinSize = 3
+	mineCfg.MaxSize = 4
+	mineCfg.MinFreq = 3
+	motifs := FindMotifs(pe.Network, mineCfg)
+
+	null := DefaultNullModel()
+	null.Networks = 8
+	ScoreUniqueness(pe.Network, motifs, null)
+
+	labeler := NewLabeler(pe.Corpus, DefaultLabelConfig())
+	var labeled []*LabeledMotif
+	for _, m := range motifs {
+		labeled = append(labeled, labeler.LabelMotif(m)...)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMotifs(&buf, pe.Ontology, labeled); err != nil {
+		return nil, err
+	}
+
+	task := NewTask(pe.Network, pe.Ontology.NumTerms())
+	for p := 0; p < pe.Network.N(); p++ {
+		for _, t := range pe.Corpus.Terms(p) {
+			task.Functions[p] = append(task.Functions[p], int(t))
+		}
+	}
+	scorer := NewLabeledMotifScorer(task, labeled)
+	for p := 0; p < pe.Network.N(); p++ {
+		fmt.Fprintf(&buf, "p%d:", p+1)
+		for _, s := range scorer.Scores(p) {
+			fmt.Fprintf(&buf, " %.12g", s)
+		}
+		fmt.Fprintln(&buf)
+	}
+	return buf.Bytes(), nil
+}
+
+// TestPipelineDeterminism is the regression gate behind the lamovet rules:
+// two runs of the full pipeline (motif find -> uniqueness -> label ->
+// predict) with the same seed must produce byte-identical serialized
+// output, including the uniqueness stage that fans out one goroutine per
+// randomized network.
+func TestPipelineDeterminism(t *testing.T) {
+	first, err := runPaperPipeline()
+	if err != nil {
+		t.Fatalf("pipeline run 1: %v", err)
+	}
+	if len(first) == 0 {
+		t.Fatal("pipeline produced no output")
+	}
+	if !bytes.Contains(first, []byte("\n")) {
+		t.Fatal("pipeline output not line-structured")
+	}
+	for run := 2; run <= 3; run++ {
+		again, err := runPaperPipeline()
+		if err != nil {
+			t.Fatalf("pipeline run %d: %v", run, err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("pipeline output differs between run 1 and run %d:\nrun1 (%d bytes):\n%s\nrun%d (%d bytes):\n%s",
+				run, len(first), truncate(first), run, len(again), truncate(again))
+		}
+	}
+}
+
+func truncate(b []byte) []byte {
+	const max = 2000
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte(nil), b[:max]...), []byte("...")...)
+}

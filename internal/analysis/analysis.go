@@ -1,0 +1,183 @@
+// Package analysis implements lamovet, the project-specific static
+// analysis suite guarding the determinism contract of the LaMoFinder
+// pipeline (see DESIGN.md "Static analysis gates").
+//
+// The paper's σ-frequency counts and table/figure reproductions are only
+// credible if motif enumeration, canonical labeling, and LMS scoring are
+// bit-for-bit reproducible. Three failure classes silently break that:
+// map-iteration nondeterminism, unseeded or ambient randomness, and float
+// equality drift. A fourth — dropped errors — hides truncated writes and
+// partial reads that make two "identical" runs diverge. lamovet encodes
+// each as an analyzer over the type-checked AST:
+//
+//   - determinism: forbid global math/rand and time.Now in the algorithm
+//     packages; randomness must flow through an injected *rand.Rand.
+//   - mapiter: forbid range-over-map loops that emit into slices, string
+//     builders, or writers without a subsequent sort.* call, in the
+//     canonicalization and serialization packages.
+//   - floateq: forbid ==/!= between computed float expressions in the
+//     scoring packages; comparisons go through internal/floats.
+//   - errdrop: forbid silently discarding an error result outside tests.
+//   - nopanic: forbid panic in library packages unless the enclosing
+//     function's doc comment carries an "// invariant:" line.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/token, go/types): the
+// repo stays dependency-free, so the driver ships its own package loader
+// (see load.go) instead of golang.org/x/tools/go/packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import path of this module; analyzers scope themselves
+// to packages beneath it.
+const ModulePath = "lamofinder"
+
+// Analyzer is one named, independently toggleable rule.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and -rules flags.
+	Name string
+	// Doc is a one-line description shown by the driver's -list flag.
+	Doc string
+	// Run inspects the pass and reports diagnostics via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. "lamofinder/internal/graph"
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+	rule  string
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Reportf records a diagnostic for the running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		MapIter(),
+		FloatEq(),
+		ErrDrop(),
+		NoPanic(),
+	}
+}
+
+// Select returns the analyzers named in the comma-separated rules string,
+// or the full suite if rules is empty.
+func Select(rules string) ([]*Analyzer, error) {
+	all := All()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, names(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names(as []*Analyzer) string {
+	ns := make([]string, len(as))
+	for i, a := range as {
+		ns[i] = a.Name
+	}
+	return strings.Join(ns, ", ")
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			diags: &diags,
+			rule:  a.Name,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// relPath returns the package path relative to the module root, or ok=false
+// for packages outside the module.
+func relPath(path string) (string, bool) {
+	if path == ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// inScope reports whether the pass's package is one of the listed
+// module-relative package paths.
+func inScope(pass *Pass, scoped []string) bool {
+	rel, ok := relPath(pass.Path)
+	if !ok {
+		return false
+	}
+	for _, s := range scoped {
+		if rel == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each analyzer with the import path its fixture is
+// loaded under — a path inside the rule's scope, so the scoped analyzers
+// see the fixture as if it lived in the real package.
+var fixtureCases = []struct {
+	rule   string
+	asPath string
+}{
+	{"determinism", ModulePath + "/internal/motif"},
+	{"mapiter", ModulePath + "/internal/label"},
+	{"floateq", ModulePath + "/internal/eval"},
+	{"errdrop", ModulePath + "/cmd/gostats"},
+	{"nopanic", ModulePath + "/internal/graph"},
+}
+
+// TestFixtures runs each analyzer over its testdata package and asserts
+// that the reported positions are exactly the lines carrying a "// want"
+// marker (bad.go) and nothing else (good.go).
+func TestFixtures(t *testing.T) {
+	root := moduleRoot(t)
+	for _, tc := range fixtureCases {
+		t.Run(tc.rule, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", tc.rule)
+			pkg, err := NewLoader(root).LoadDir(dir, tc.asPath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			analyzers, err := Select(tc.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := wantMarkers(t, dir)
+			got := map[string]int{}
+			for _, d := range RunAnalyzers(pkg, analyzers) {
+				if d.Rule != tc.rule {
+					t.Errorf("diagnostic from unexpected rule: %s", d)
+				}
+				got[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)]++
+			}
+			for loc := range want {
+				if got[loc] == 0 {
+					t.Errorf("expected a %s finding at %s, got none", tc.rule, loc)
+				}
+			}
+			for loc, n := range got {
+				if !want[loc] {
+					t.Errorf("unexpected %s finding at %s", tc.rule, loc)
+				} else if n > 1 {
+					t.Errorf("%d duplicate %s findings at %s", n, tc.rule, loc)
+				}
+			}
+		})
+	}
+}
+
+// TestScopedAnalyzersSilentOutsideScope loads known-bad fixtures under
+// paths outside each rule's scope and asserts no findings: the analyzers
+// must not leak beyond the packages the determinism contract names.
+func TestScopedAnalyzersSilentOutsideScope(t *testing.T) {
+	root := moduleRoot(t)
+	cases := []struct {
+		rule   string
+		asPath string
+	}{
+		{"determinism", ModulePath + "/internal/ontology"},
+		{"mapiter", ModulePath + "/internal/motif"},
+		{"floateq", ModulePath + "/internal/graph"},
+		{"nopanic", ModulePath + "/cmd/motiffind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "analysis", "testdata", "src", tc.rule)
+			pkg, err := NewLoader(root).LoadDir(dir, tc.asPath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			analyzers, err := Select(tc.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range RunAnalyzers(pkg, analyzers) {
+				t.Errorf("out-of-scope finding: %s", d)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the self-hosting gate in miniature: the full suite
+// over the module's own packages must report nothing, mirroring the
+// `make lint` / CI invocation of cmd/lamovet.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	loader := NewLoader(root)
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("expanded only %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, d := range RunAnalyzers(pkg, All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if as, err := Select(""); err != nil || len(as) != 5 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(as), err)
+	}
+	as, err := Select("floateq, nopanic")
+	if err != nil || len(as) != 2 || as[0].Name != "floateq" || as[1].Name != "nopanic" {
+		t.Fatalf("Select subset = %v, err %v", as, err)
+	}
+	if _, err := Select("nosuchrule"); err == nil {
+		t.Fatal("Select accepted an unknown rule")
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// wantMarkers scans the fixture directory for lines ending in a "// want"
+// marker and returns them as a "file:line" set.
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), "// want") {
+				want[fmt.Sprintf("%s:%d", e.Name(), line)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("no // want markers under %s", dir)
+	}
+	return want
+}

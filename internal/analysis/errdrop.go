@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the analyzer flagging statements that silently discard a
+// call's error result. An explicit `_ = f()` is allowed — it is a visible,
+// reviewable decision — the rule targets bare call statements where the
+// drop is invisible.
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "flag call statements that silently discard an error result (explicit '_ =' is the escape hatch)",
+		Run:  runErrDrop,
+	}
+}
+
+// latchingWriters are receiver/destination types whose write methods
+// either cannot fail (strings.Builder, bytes.Buffer always return nil) or
+// latch the first error until Flush (bufio.Writer), so dropping the
+// per-call error is the documented idiom. Flush itself is NOT exempt:
+// that is where a latched error surfaces.
+var latchingWriters = map[string]bool{
+	"*strings.Builder": true,
+	"strings.Builder":  true,
+	"*bytes.Buffer":    true,
+	"bytes.Buffer":     true,
+	"*bufio.Writer":    true,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(pass, call) || exemptDrop(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently discarded; handle it or assign it to _ explicitly", calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptDrop reports whether the dropped error is one of the sanctioned
+// idioms: terminal-output diagnostics via fmt, or writes through an
+// error-latching / infallible writer whose failure surfaces elsewhere.
+func exemptDrop(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		if strings.HasPrefix(name, "Print") {
+			// Stdout diagnostics: nothing sensible to do with the error.
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return latchingDest(pass, call.Args[0])
+		}
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := types.TypeString(sig.Recv().Type(), nil)
+	return latchingWriters[recv] && fn.Name() != "Flush"
+}
+
+// latchingDest reports whether a writer argument is an error-latching or
+// infallible destination, or one of the process's standard streams.
+func latchingDest(pass *Pass, arg ast.Expr) bool {
+	if t := pass.Info.TypeOf(arg); t != nil && latchingWriters[types.TypeString(t, nil)] {
+		return true
+	}
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok &&
+			v.Pkg() != nil && v.Pkg().Path() == "os" &&
+			(v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,18 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad exercises every forbidden ambient-state pattern: the global
+// math/rand functions (shared process state), explicit reseeding of the
+// global source, and a wall-clock read.
+func Bad() (int, int64) {
+	rand.Seed(42)      // want
+	x := rand.Intn(10) // want
+	_ = rand.Float64() // want
+	f := rand.Perm     // want
+	_ = f(3)
+	return x, time.Now().Unix() // want
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BadStatement drops the write error on the floor.
+func BadStatement(w io.Writer) {
+	fmt.Fprintln(w, "hello") // want
+}
+
+// BadFlush drops the one call where a bufio.Writer's latched error
+// finally surfaces.
+func BadFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "hello")
+	bw.Flush() // want
+}
+
+// BadDefer silently drops a deferred close error.
+func BadDefer(f *os.File) {
+	defer f.Close() // want
+}
+
+// BadGo silently drops an error in a fire-and-forget goroutine.
+func BadGo(f *os.File) {
+	go f.Sync() // want
+}

@@ -1,0 +1,48 @@
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// GoodHandled propagates the error.
+func GoodHandled(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "hello"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodLatched relies on bufio's error latching and returns Flush's error.
+func GoodLatched(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "hello")
+	bw.WriteString("world")
+	return bw.Flush()
+}
+
+// GoodBuilder writes to infallible in-memory destinations.
+func GoodBuilder() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&b, "x=%d", 1)
+	fmt.Fprintf(&buf, "y=%d", 2)
+	buf.WriteByte('!')
+	return b.String() + buf.String()
+}
+
+// GoodExplicit discards visibly — the sanctioned escape hatch.
+func GoodExplicit(w io.Writer, f *os.File) {
+	_, _ = fmt.Fprintln(w, "hello")
+	defer func() { _ = f.Close() }()
+}
+
+// GoodStdout prints diagnostics to the process streams.
+func GoodStdout() {
+	fmt.Println("diagnostic")
+	fmt.Fprintln(os.Stderr, "diagnostic")
+}

@@ -1,0 +1,22 @@
+package fixture
+
+// BadEq compares two computed scores exactly.
+func BadEq(a, b float64) bool {
+	return a*2 == b+b // want
+}
+
+// BadNeq counts strict changes between adjacent computed values.
+func BadNeq(xs []float64) int {
+	n := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] { // want
+			n++
+		}
+	}
+	return n
+}
+
+// BadFloat32 drifts just the same at single precision.
+func BadFloat32(a, b float32) bool {
+	return a == b // want
+}

@@ -1,0 +1,17 @@
+package fixture
+
+// GoodSentinel compares against a compile-time constant: a sentinel
+// check, not drift-prone computed equality.
+func GoodSentinel(a float64) bool {
+	return a == 0 || a != 1.5
+}
+
+// GoodOrder uses ordering, which the rule does not police.
+func GoodOrder(a, b float64) bool {
+	return a < b
+}
+
+// GoodInts is integer equality.
+func GoodInts(a, b int) bool {
+	return a == b
+}

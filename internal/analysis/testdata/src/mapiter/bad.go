@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BadAppend returns a slice whose element order mirrors map iteration.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadWrite streams key/value lines in map-iteration order.
+func BadWrite(w io.Writer, m map[string]int) error {
+	for k, v := range m { // want
+		if _, err := fmt.Fprintf(w, "%s=%d\n", k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadBuilder assembles a string in map-iteration order.
+func BadBuilder(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want
+		b.WriteString(k)
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import "sort"
+
+// GoodSorted collects keys and sorts before anything depends on order —
+// the collect-then-sort idiom canonSearch uses.
+func GoodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodReduce folds the map into an order-independent aggregate.
+func GoodReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodIndexed writes into key-derived slots, so the final slice does not
+// depend on iteration order.
+func GoodIndexed(m map[int]string, n int) []string {
+	out := make([]string, n)
+	for i, s := range m {
+		out[i] = s
+	}
+	return out
+}

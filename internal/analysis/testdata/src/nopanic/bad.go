@@ -1,0 +1,21 @@
+package fixture
+
+// BadValidate panics on bad input without documenting the precondition as
+// an invariant, so a caller has no way to know the function can bring the
+// process down.
+func BadValidate(n int) int {
+	if n < 0 {
+		panic("fixture: negative size") // want
+	}
+	return n
+}
+
+// BadNested panics from inside a closure; the rule attributes it to the
+// enclosing declaration.
+func BadNested(xs []int) func() {
+	return func() {
+		if len(xs) == 0 {
+			panic("fixture: empty") // want
+		}
+	}
+}

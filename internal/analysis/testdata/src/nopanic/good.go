@@ -1,0 +1,22 @@
+package fixture
+
+import "errors"
+
+// GoodInvariant panics only on a documented programmer-error precondition.
+//
+// invariant: n is non-negative — callers validate sizes before handing
+// them down, so a negative value is a bug upstream, never a data state.
+func GoodInvariant(n int) int {
+	if n < 0 {
+		panic("fixture: negative size")
+	}
+	return n
+}
+
+// GoodError reports bad input the way library code should.
+func GoodError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("fixture: negative size")
+	}
+	return n, nil
+}

@@ -96,6 +96,9 @@ func randomTemplate(size int, rng *rand.Rand) *graph.Dense {
 // position-fixed categories; background proteins receive homophilous edges,
 // so neighbor methods work but position methods work better on the planted
 // half — the structural claim of the paper's Section 5.
+//
+// invariant: the generated category ontology is a two-level tree, so Build
+// cannot cycle; a failure would be a bug in this generator.
 func NewMIPS(cfg MIPSConfig) *MIPS {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := cfg.Proteins

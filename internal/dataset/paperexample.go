@@ -35,6 +35,9 @@ type PaperExample struct {
 // NewPaperExample constructs the fixture. The DAG includes the G08 is-a G05
 // edge required by the paper's text and Tables 3-4; see DESIGN.md for the
 // resulting (documented) deviation in Table 1's G05 row.
+//
+// invariant: the fixture's hard-coded ontology is a valid DAG, so Build
+// cannot fail; a failure would be a bug in this file's edge list.
 func NewPaperExample() *PaperExample {
 	b := ontology.NewBuilder()
 	gid := func(i int) string { return fmt.Sprintf("G%02d", i) }
@@ -165,6 +168,10 @@ func (pe *PaperExample) Weights() ontology.Weights {
 }
 
 // Term returns the index of term id, panicking on unknown ids (fixture use).
+//
+// invariant: id is one of the fixture's eleven G01..G11 terms — callers
+// pass literals from the paper's tables, so an unknown id is a typo in
+// test or experiment code.
 func (pe *PaperExample) Term(id string) int {
 	i := pe.Ontology.Index(id)
 	if i < 0 {

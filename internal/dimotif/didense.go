@@ -22,6 +22,9 @@ type DiDense struct {
 }
 
 // NewDiDense returns an empty directed dense graph with n vertices.
+//
+// invariant: 0 <= n <= graph.MaxDense — the bit-row representation cannot
+// hold more vertices; an out-of-range size is a programmer error.
 func NewDiDense(n int) *DiDense {
 	if n < 0 || n > graph.MaxDense {
 		panic(fmt.Sprintf("dimotif: size %d out of range", n))

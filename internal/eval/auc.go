@@ -3,6 +3,7 @@ package eval
 import (
 	"sort"
 
+	"lamofinder/internal/floats"
 	"lamofinder/internal/predict"
 )
 
@@ -56,7 +57,7 @@ func AUC(t *predict.Task, s predict.Scorer) (perFunction []float64, macro float6
 		i := 0
 		for i < len(rows) {
 			j := i
-			for j < len(rows) && rows[j].v == rows[i].v {
+			for j < len(rows) && floats.Eq(rows[j].v, rows[i].v) {
 				j++
 			}
 			mid := float64(i+j+1) / 2 // average 1-based rank of the tie group

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strings"
@@ -69,9 +70,10 @@ func Table1() *Table1Result {
 }
 
 // WriteText renders the result.
-func (r *Table1Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Table 1: GO term weights (Figure-1 example ontology)\n")
-	fmt.Fprintf(w, "%-5s %7s %10s %7s | %10s %7s  %s\n",
+func (r *Table1Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Table 1: GO term weights (Figure-1 example ontology)\n")
+	fmt.Fprintf(bw, "%-5s %7s %10s %7s | %10s %7s  %s\n",
 		"term", "direct", "inclusive", "weight", "paper-inc", "paper-w", "status")
 	for _, row := range r.Rows {
 		status := "match"
@@ -82,10 +84,11 @@ func (r *Table1Result) WriteText(w io.Writer) {
 				status = "MISMATCH"
 			}
 		}
-		fmt.Fprintf(w, "%-5s %7d %10d %7.2f | %10d %7.2f  %s\n",
+		fmt.Fprintf(bw, "%-5s %7d %10d %7.2f | %10d %7.2f  %s\n",
 			row.Term, row.Direct, row.Inclusive, row.Weight,
 			row.PaperInclusive, row.PaperWeight, status)
 	}
+	return bw.Flush()
 }
 
 // Table3Row is one SV pairing row of the reproduced Table 3.
@@ -137,13 +140,15 @@ func Table3() *Table3Result {
 }
 
 // WriteText renders the result.
-func (r *Table3Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Table 3: similarity between occurrences o1 and o2\n")
-	fmt.Fprintf(w, "%-5s %-5s %8s %9s\n", "o1", "o2", "SV", "paper-SV")
+func (r *Table3Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Table 3: similarity between occurrences o1 and o2\n")
+	fmt.Fprintf(bw, "%-5s %-5s %8s %9s\n", "o1", "o2", "SV", "paper-SV")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-5s %-5s %8.2f %9.2f\n", row.A, row.B, row.SV, row.PaperSV)
+		fmt.Fprintf(bw, "%-5s %-5s %8.2f %9.2f\n", row.A, row.B, row.SV, row.PaperSV)
 	}
-	fmt.Fprintf(w, "SO(o1,o2) = %.3f (paper: %.2f), best pairing %v\n", r.SO, r.PaperSO, r.Pairing)
+	fmt.Fprintf(bw, "SO(o1,o2) = %.3f (paper: %.2f), best pairing %v\n", r.SO, r.PaperSO, r.Pairing)
+	return bw.Flush()
 }
 
 // Table4Row is one vertex of the reproduced Table 4.
@@ -191,17 +196,19 @@ func Table4() *Table4Result {
 }
 
 // WriteText renders the result.
-func (r *Table4Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Table 4: minimum common father labels of o1/o2 vertices\n")
+func (r *Table4Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Table 4: minimum common father labels of o1/o2 vertices\n")
 	for i, row := range r.Rows {
 		status := "match"
 		if !row.Match {
 			status = "MISMATCH"
 		}
-		fmt.Fprintf(w, "v%d: o1=%s o2=%s -> %s (paper %s) %s\n",
+		fmt.Fprintf(bw, "v%d: o1=%s o2=%s -> %s (paper %s) %s\n",
 			i+1, strings.Join(row.O1, ","), strings.Join(row.O2, ","),
 			strings.Join(row.Common, ","), strings.Join(row.Paper, ","), status)
 	}
+	return bw.Flush()
 }
 
 func sameSet(a, b []string) bool {

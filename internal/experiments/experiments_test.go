@@ -36,7 +36,9 @@ func TestTable1MatchesPaperExceptKnownDeviation(t *testing.T) {
 		t.Errorf("deviations = %d, want 1", dev)
 	}
 	var sb strings.Builder
-	r.WriteText(&sb)
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
 	if !strings.Contains(sb.String(), "documented deviation") {
 		t.Error("text output missing deviation note")
 	}
@@ -114,7 +116,9 @@ func TestFigure6PipelineMini(t *testing.T) {
 		t.Errorf("histogram sum %d != labeled %d", total, r.LabeledMotifs)
 	}
 	var sb strings.Builder
-	r.WriteText(&sb)
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
 	if !strings.Contains(sb.String(), "Figure 6") {
 		t.Error("text output malformed")
 	}
@@ -152,7 +156,9 @@ func TestFigure9PipelineMini(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	r.WriteText(&sb)
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
 	if !strings.Contains(sb.String(), "PRODISTIN") {
 		t.Error("text output missing methods")
 	}
@@ -181,7 +187,9 @@ func TestFigure7PipelineMini(t *testing.T) {
 		t.Error("no parallel function+location exhibit found")
 	}
 	var sb strings.Builder
-	r.WriteText(&sb)
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
 	if !strings.Contains(sb.String(), "g1-like") {
 		t.Error("text output malformed")
 	}
@@ -199,7 +207,9 @@ func TestFigure8Demonstration(t *testing.T) {
 		t.Errorf("top prediction %s not consistent with p1's annotations", r.TopFunction)
 	}
 	var sb strings.Builder
-	r.WriteText(&sb)
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
 	if !strings.Contains(sb.String(), "Figure 8") {
 		t.Error("text output malformed")
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -149,19 +150,20 @@ func Figure6(cfg Figure6Config) *Figure6Result {
 
 // WriteText renders the distribution as an ASCII bar chart plus the
 // headline statistics, the textual analogue of Figure 6.
-func (r *Figure6Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Section 4 statistics (paper: 4141 proteins, 7095 edges, 3554 annotated; 1367 unlabeled -> 3842 labeled motifs)\n")
-	fmt.Fprintf(w, "  proteins=%d edges=%d annotated=%d\n", r.Proteins, r.Edges, r.AnnotatedProteins)
-	fmt.Fprintf(w, "  mined classes=%d unique motifs=%d labeled motifs=%d (x%.2f)\n",
+func (r *Figure6Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Section 4 statistics (paper: 4141 proteins, 7095 edges, 3554 annotated; 1367 unlabeled -> 3842 labeled motifs)\n")
+	fmt.Fprintf(bw, "  proteins=%d edges=%d annotated=%d\n", r.Proteins, r.Edges, r.AnnotatedProteins)
+	fmt.Fprintf(bw, "  mined classes=%d unique motifs=%d labeled motifs=%d (x%.2f)\n",
 		r.MinedClasses, r.UnlabeledMotifs, r.LabeledMotifs, r.ratio())
-	fmt.Fprintf(w, "Figure 6: labeled network motif distribution (peak size %d, meso fraction %.2f)\n",
+	fmt.Fprintf(bw, "Figure 6: labeled network motif distribution (peak size %d, meso fraction %.2f)\n",
 		r.PeakSize, r.MesoFraction)
-	fmt.Fprintf(w, "  pipeline by size (mined/unique/labeled):\n")
+	fmt.Fprintf(bw, "  pipeline by size (mined/unique/labeled):\n")
 	for size := 2; size <= 25; size++ {
 		if r.MinedBySize[size]+r.UniqueBySize[size]+r.CountBySize[size] == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "    size %2d: %4d / %4d / %4d\n",
+		fmt.Fprintf(bw, "    size %2d: %4d / %4d / %4d\n",
 			size, r.MinedBySize[size], r.UniqueBySize[size], r.CountBySize[size])
 	}
 	maxC := 1
@@ -184,8 +186,9 @@ func (r *Figure6Result) WriteText(w io.Writer) {
 		for i := 0; i < n; i++ {
 			bar = append(bar, '#')
 		}
-		fmt.Fprintf(w, "  size %2d | %4d %s\n", size, c, bar)
+		fmt.Fprintf(bw, "  size %2d | %4d %s\n", size, c, bar)
 	}
+	return bw.Flush()
 }
 
 func (r *Figure6Result) ratio() float64 {

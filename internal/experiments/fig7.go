@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -146,12 +147,14 @@ func intersects(a, b []int32) bool {
 }
 
 // WriteText renders the exhibits.
-func (r *Figure7Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Figure 7: example labeled network motifs\n")
-	fmt.Fprintf(w, "g1-like (uni-labeled, %d found):\n  %s\n", r.UniCount, orNone(r.UniLabeled))
-	fmt.Fprintf(w, "g2-like (non-uni-labeled, %d found):\n  %s\n", r.NonUniCount, orNone(r.NonUniLabeled))
-	fmt.Fprintf(w, "g3-like (function+location parallel labels, %d found):\n  %s\n",
+func (r *Figure7Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Figure 7: example labeled network motifs\n")
+	fmt.Fprintf(bw, "g1-like (uni-labeled, %d found):\n  %s\n", r.UniCount, orNone(r.UniLabeled))
+	fmt.Fprintf(bw, "g2-like (non-uni-labeled, %d found):\n  %s\n", r.NonUniCount, orNone(r.NonUniLabeled))
+	fmt.Fprintf(bw, "g3-like (function+location parallel labels, %d found):\n  %s\n",
 		r.ParallelCount, orNone(r.ParallelLabeled))
+	return bw.Flush()
 }
 
 func orNone(s string) string {

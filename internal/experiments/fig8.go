@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -105,8 +106,10 @@ func Figure8() *Figure8Result {
 }
 
 // WriteText renders the demonstration.
-func (r *Figure8Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Figure 8: predicting the function of protein %s from its labeled motif\n", r.Protein)
-	fmt.Fprintf(w, "  top prediction: %s (score %.2f), correct=%v\n", r.TopFunction, r.Score, r.Correct)
-	fmt.Fprintf(w, "  ranking: %v\n", r.Ranking)
+func (r *Figure8Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Figure 8: predicting the function of protein %s from its labeled motif\n", r.Protein)
+	fmt.Fprintf(bw, "  top prediction: %s (score %.2f), correct=%v\n", r.TopFunction, r.Score, r.Correct)
+	fmt.Fprintf(bw, "  ranking: %v\n", r.Ranking)
+	return bw.Flush()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -154,25 +155,27 @@ func (r *Figure9Result) Curve(name string) *eval.Curve {
 
 // WriteText renders the PR table and the method ordering, the textual
 // analogue of Figure 9.
-func (r *Figure9Result) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "Figure 9 pipeline: %d proteins, %d interactions, %d annotated\n",
+func (r *Figure9Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Figure 9 pipeline: %d proteins, %d interactions, %d annotated\n",
 		r.Proteins, r.Interactions, r.Annotated)
-	fmt.Fprintf(w, "  mined=%d unique=%d labeled=%d motif-covered proteins=%d\n",
+	fmt.Fprintf(bw, "  mined=%d unique=%d labeled=%d motif-covered proteins=%d\n",
 		r.MinedClasses, r.UniqueMotifs, r.LabeledMotifs, r.MotifCoverage)
-	fmt.Fprint(w, eval.FormatCurves(r.Curves))
-	fmt.Fprintf(w, "average precision:")
+	fmt.Fprint(bw, eval.FormatCurves(r.Curves))
+	fmt.Fprintf(bw, "average precision:")
 	for _, c := range r.Curves {
-		fmt.Fprintf(w, "  %s=%.3f", c.Method, c.AveragePrecision())
+		fmt.Fprintf(bw, "  %s=%.3f", c.Method, c.AveragePrecision())
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "best F1:")
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "best F1:")
 	for _, c := range r.Curves {
-		fmt.Fprintf(w, "  %s=%.3f", c.Method, c.BestF1())
+		fmt.Fprintf(bw, "  %s=%.3f", c.Method, c.BestF1())
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "macro AUC:")
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "macro AUC:")
 	for _, c := range r.Curves {
-		fmt.Fprintf(w, "  %s=%.3f", c.Method, r.MacroAUC[c.Method])
+		fmt.Fprintf(bw, "  %s=%.3f", c.Method, r.MacroAUC[c.Method])
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(bw)
+	return bw.Flush()
 }

@@ -68,6 +68,10 @@ func Invariant(d *Dense) uint64 {
 // CanonicalKey returns a string that is identical for isomorphic graphs and
 // distinct for non-isomorphic ones, for graphs with at most canonExactMax
 // vertices. It panics for larger graphs; use Classifier for those.
+//
+// invariant: d.n <= canonExactMax — exact canonical search is factorial in
+// the vertex count, so a larger input is a caller bug (the miner routes
+// meso-scale patterns through Classifier), never a data-dependent state.
 func CanonicalKey(d *Dense) string {
 	if d.n > canonExactMax {
 		panic("graph: CanonicalKey limited to 8 vertices; use Classifier")

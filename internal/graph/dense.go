@@ -19,6 +19,10 @@ type Dense struct {
 }
 
 // NewDense returns an empty dense graph with n vertices.
+//
+// invariant: 0 <= n <= MaxDense — the bit-matrix representation cannot hold
+// more vertices; an out-of-range size is a programmer error, like a
+// negative make() length.
 func NewDense(n int) *Dense {
 	if n < 0 || n > MaxDense {
 		panic(fmt.Sprintf("graph: dense graph size %d out of range [0,%d]", n, MaxDense))

@@ -3,6 +3,7 @@ package label
 import (
 	"sort"
 
+	"lamofinder/internal/floats"
 	"lamofinder/internal/ontology"
 )
 
@@ -118,7 +119,7 @@ func (d *Dictionary) SuggestedLabels(p int32) []TermScore {
 		out = append(out, TermScore{Term: int(t), Score: w})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
+		if !floats.Eq(out[i].Score, out[j].Score) {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Term < out[j].Term

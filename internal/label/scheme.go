@@ -3,6 +3,7 @@ package label
 import (
 	"sort"
 
+	"lamofinder/internal/floats"
 	"lamofinder/internal/ontology"
 )
 
@@ -74,7 +75,7 @@ func capTerms(o *ontology.Ontology, w ontology.Weights, ts []int32, maxTerms int
 	}
 	sort.Slice(ts, func(i, j int) bool {
 		wi, wj := w[ts[i]], w[ts[j]]
-		if wi != wj {
+		if !floats.Eq(wi, wj) {
 			return wi < wj
 		}
 		return ts[i] < ts[j]

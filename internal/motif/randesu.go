@@ -42,6 +42,10 @@ type Concentration struct {
 // SampleConcentrations estimates per-class subgraph concentrations with the
 // RAND-ESU tree-sampling scheme: the exact ESU enumeration tree is pruned
 // randomly but unbiasedly, each surviving leaf contributing one sample.
+//
+// invariant: len(cfg.Probabilities), when set, equals cfg.K — one retention
+// probability per tree depth. A mismatched configuration is a programmer
+// error; defaults are derived when the slice is empty.
 func SampleConcentrations(g *graph.Graph, cfg RandESUConfig) []Concentration {
 	k := cfg.K
 	if k < 2 {

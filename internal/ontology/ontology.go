@@ -232,6 +232,9 @@ type Weights []float64
 
 // ComputeWeights derives term weights from direct annotation-occurrence
 // counts (one count per protein-term annotation pair).
+//
+// invariant: len(direct) equals the ontology's term count — the counts are
+// indexed by term; a mismatched slice is a caller bug, not a data state.
 func (o *Ontology) ComputeWeights(direct []int) Weights {
 	n := len(o.ids)
 	if len(direct) != n {

@@ -30,6 +30,10 @@ func DefaultSyntheticConfig(prefix string, terms int) SyntheticConfig {
 // sizes grow geometrically, with occasional multi-parent terms and part-of
 // edges. Term ids are Prefix:%07d in breadth-first order; index 0 is the
 // root.
+//
+// invariant: the generated relation set is acyclic by construction (edges
+// only point to shallower levels), so Build cannot fail; a failure would be
+// a bug in this generator.
 func Synthetic(cfg SyntheticConfig, rng *rand.Rand) *Ontology {
 	if cfg.Terms < 1 {
 		cfg.Terms = 1
