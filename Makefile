@@ -3,12 +3,15 @@
 
 GO ?= go
 
-# RACEPKGS are the concurrency-bearing packages: uniqueness scoring fans
-# out one goroutine per randomized network (internal/motif/uniqueness.go)
-# on top of the randnet generators.
-RACEPKGS = ./internal/motif/... ./internal/randnet/...
+# RACEPKGS are the concurrency-bearing packages: the par worker pool, the
+# sharded similarity cache and parallel labeler (internal/label), the
+# heap agglomerator driven by batch-parallel rows (internal/cluster), and
+# the chunked enumeration / per-network uniqueness fan-outs
+# (internal/motif) on top of the randnet generators.
+RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
+	./internal/motif/... ./internal/randnet/...
 
-.PHONY: all build vet lamovet lint test race ci
+.PHONY: all build vet lamovet lint test race bench-smoke bench-json ci
 
 all: ci
 
@@ -32,4 +35,14 @@ test:
 race:
 	$(GO) test -race $(RACEPKGS)
 
-ci: build lint test race
+# bench-smoke compiles and executes every benchmark exactly once — a CI
+# guard against benchmark rot, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-json records a dated benchmark trajectory point (BENCH_<date>.json)
+# for the before/after record in EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/benchjson -time 3x
+
+ci: build lint test race bench-smoke

@@ -56,6 +56,7 @@ func benchPairing(b *testing.B, pat *graph.Dense) {
 		la[v] = []int32{int32(rng.Intn(pe.Ontology.NumTerms()))}
 		lb[v] = []int32{int32(rng.Intn(pe.Ontology.NumTerms()))}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Occurrence(la, lb, sym)
@@ -72,6 +73,7 @@ func benchMinerBeam(b *testing.B, beam int) {
 	g := randnet.BarabasiAlbert(600, 3, 2, rng)
 	cfg := motif.Config{MinSize: 3, MaxSize: 6, MinFreq: 20, BeamWidth: beam,
 		MaxOccPerClass: 100, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.Find(g, cfg)
@@ -93,6 +95,7 @@ func benchUniqueness(b *testing.B, cap int) {
 		b.Fatal("no motifs")
 	}
 	cfg := motif.UniquenessConfig{Networks: 2, MaxSteps: 5_000_000, CountCap: cap, Seed: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.ScoreUniqueness(g, ms, cfg)
@@ -109,6 +112,7 @@ func BenchmarkDirectedMiner(b *testing.B) {
 	}
 	cfg := motif.Config{MinSize: 3, MaxSize: 4, MinFreq: 10, BeamWidth: 20,
 		MaxOccPerClass: 100, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dimotif.Find(g, cfg)
@@ -120,6 +124,7 @@ func BenchmarkDirectedMiner(b *testing.B) {
 func BenchmarkRandESUSampling(b *testing.B) {
 	g := benchNetwork(500, 1000, 2)
 	cfg := motif.RandESUConfig{K: 4, SampleFraction: 0.1, Seed: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.SampleConcentrations(g, cfg)
@@ -133,6 +138,7 @@ func BenchmarkMinerNeMoStyle(b *testing.B) {
 	g := randnet.BarabasiAlbert(600, 3, 2, rng)
 	cfg := motif.NeMoConfig{MinSize: 3, MaxSize: 6, MinFreq: 20,
 		MaxTreeClasses: 30, MaxOccPerTree: 200, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.NeMoFind(g, cfg)

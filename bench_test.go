@@ -20,6 +20,7 @@ import (
 
 // BenchmarkTable1Weights regenerates Table 1 (GO term weights).
 func BenchmarkTable1Weights(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table1(); len(r.Rows) != 11 {
 			b.Fatal("table 1 rows")
@@ -29,6 +30,7 @@ func BenchmarkTable1Weights(b *testing.B) {
 
 // BenchmarkTable3Similarity regenerates Table 3 (SV rows and SO(o1,o2)).
 func BenchmarkTable3Similarity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table3(); r.SO <= 0 {
 			b.Fatal("SO")
@@ -39,6 +41,7 @@ func BenchmarkTable3Similarity(b *testing.B) {
 // BenchmarkTable4LeastGeneral regenerates Table 4 (minimum common father
 // labels).
 func BenchmarkTable4LeastGeneral(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Table4(); len(r.Rows) != 4 {
 			b.Fatal("table 4 rows")
@@ -91,6 +94,7 @@ func BenchmarkFigure7Examples(b *testing.B) {
 	cfg.Mine.MaxSize = 6
 	cfg.Mine.MinFreq = 15
 	cfg.Label.Sigma = 6
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure7(cfg)
 		if r.UniCount+r.NonUniCount+r.ParallelCount == 0 {
@@ -134,6 +138,7 @@ func BenchmarkCanonicalKey(b *testing.B) {
 		d.AddEdge(rng.Intn(8), rng.Intn(8))
 		ds = append(ds, d)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.CanonicalKey(ds[i%len(ds)])
@@ -143,6 +148,7 @@ func BenchmarkCanonicalKey(b *testing.B) {
 // BenchmarkESUCensus measures the exact FANMOD-style size-4 census.
 func BenchmarkESUCensus(b *testing.B) {
 	g := benchNetwork(500, 1000, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.CensusESU(g, 4, 50)
@@ -153,6 +159,7 @@ func BenchmarkESUCensus(b *testing.B) {
 func BenchmarkMesoMiner(b *testing.B) {
 	g := benchNetwork(800, 1600, 3)
 	cfg := motif.Config{MinSize: 3, MaxSize: 8, MinFreq: 20, BeamWidth: 30, MaxOccPerClass: 100, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		motif.Find(g, cfg)
@@ -163,6 +170,7 @@ func BenchmarkMesoMiner(b *testing.B) {
 func BenchmarkDegreePreservingNull(b *testing.B) {
 	g := benchNetwork(1000, 2000, 4)
 	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		randnet.Randomize(g, rng)
@@ -184,6 +192,7 @@ func BenchmarkOccurrenceSimilarity(b *testing.B) {
 	}
 	la := labelsOf(pe.Motif.Occurrences[0])
 	lb := labelsOf(pe.Motif.Occurrences[1])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Occurrence(la, lb, sym)
@@ -205,6 +214,7 @@ func BenchmarkLabelMotif(b *testing.B) {
 	lcfg.Sigma = 6
 	lcfg.MaxOccurrences = 60
 	labeler := label.NewLabeler(y.Corpora[0], lcfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		labeler.LabelMotif(m)
@@ -219,6 +229,7 @@ func BenchmarkLeaveOneOutNC(b *testing.B) {
 	mcfg.Edges = 700
 	m := dataset.NewMIPS(mcfg)
 	nc := predict.NewNC(m.Task)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		LeaveOneOut(m.Task, nc, 13)
@@ -228,6 +239,7 @@ func BenchmarkLeaveOneOutNC(b *testing.B) {
 // BenchmarkFigure8Demonstration regenerates the Figure-8 prediction
 // walk-through on the worked example.
 func BenchmarkFigure8Demonstration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.Figure8(); r.TopFunction == "" {
 			b.Fatal("no prediction")

@@ -3,6 +3,7 @@ package lamofinder
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -75,6 +76,67 @@ func TestPipelineDeterminism(t *testing.T) {
 		if !bytes.Equal(first, again) {
 			t.Fatalf("pipeline output differs between run 1 and run %d:\nrun1 (%d bytes):\n%s\nrun%d (%d bytes):\n%s",
 				run, len(first), truncate(first), run, len(again), truncate(again))
+		}
+	}
+}
+
+// TestPipelineDeterminismAcrossGOMAXPROCS cross-checks the worker pools:
+// the serialized pipeline output must be byte-identical whether the
+// runtime schedules everything on one processor or spreads the pools over
+// four. Combined with TestPipelineDeterminism this certifies that no
+// parallel stage lets the worker count leak into the result — the chunking
+// is worker-independent and every merge is index-ordered.
+func TestPipelineDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := runPaperPipeline()
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatalf("pipeline at GOMAXPROCS=1: %v", err)
+	}
+
+	prev = runtime.GOMAXPROCS(4)
+	wide, err := runPaperPipeline()
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatalf("pipeline at GOMAXPROCS=4: %v", err)
+	}
+
+	if !bytes.Equal(serial, wide) {
+		t.Fatalf("pipeline output depends on GOMAXPROCS:\nGOMAXPROCS=1 (%d bytes):\n%s\nGOMAXPROCS=4 (%d bytes):\n%s",
+			len(serial), truncate(serial), len(wide), truncate(wide))
+	}
+}
+
+// TestLabelParallelismKnobDeterminism pins the explicit Parallelism knob:
+// the labeled-motif stream must be identical at worker counts 1, 2, and 5
+// on the same mined motifs.
+func TestLabelParallelismKnobDeterminism(t *testing.T) {
+	pe := PaperExample()
+	mineCfg := DefaultMineConfig()
+	mineCfg.MinSize = 3
+	mineCfg.MaxSize = 4
+	mineCfg.MinFreq = 3
+	motifs := FindMotifs(pe.Network, mineCfg)
+
+	var want []byte
+	for _, workers := range []int{1, 2, 5} {
+		lcfg := DefaultLabelConfig()
+		lcfg.Parallelism = workers
+		labeler := NewLabeler(pe.Corpus, lcfg)
+		labeled := labeler.LabelAll(motifs)
+		var buf bytes.Buffer
+		if err := WriteMotifs(&buf, pe.Ontology, labeled); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			if len(want) == 0 {
+				t.Fatal("no labeled output")
+			}
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("labeled output differs between Parallelism=1 and Parallelism=%d", workers)
 		}
 	}
 }

@@ -16,3 +16,20 @@ func Bad() (int, int64) {
 	_ = f(3)
 	return x, time.Now().Unix() // want
 }
+
+// BadParallel fans work out to goroutines that all draw from the shared
+// global source: beyond the shared-state lock, the interleaving of draws
+// across workers depends on the scheduler, so results change run to run
+// even under a fixed rand.Seed.
+func BadParallel(items []int) {
+	done := make(chan struct{})
+	for range items {
+		go func() {
+			_ = rand.Int63() // want
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+}

@@ -13,3 +13,20 @@ func Good(seed int64, now time.Time) (int, int64) {
 	rng.Shuffle(4, func(i, j int) {})
 	return rng.Intn(10), now.Unix()
 }
+
+// GoodParallel is the sanctioned worker-pool pattern: each work index
+// derives its own generator from the injected seed and writes only its own
+// slot, so the result is independent of scheduling and worker count.
+func GoodParallel(seed int64, out []int) {
+	done := make(chan struct{})
+	for i := range out {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9))
+			out[i] = rng.Intn(10)
+			done <- struct{}{}
+		}(i)
+	}
+	for range out {
+		<-done
+	}
+}

@@ -1,12 +1,15 @@
 package cluster
 
-import "math"
+import (
+	"container/heap"
+	"math"
+)
 
 // Agglomerative performs generic bottom-up hierarchical clustering over n
-// items. sim(a, b) returns the similarity between two current clusters,
-// identified by their representative ids; merge(a, b) combines them and
+// items. Sim(a, b) returns the similarity between two current clusters,
+// identified by their representative ids; Merge(a, b) combines them and
 // returns the id representing the merged cluster (one of a, b, or a fresh
-// id the caller manages); stop(a, b, s) may veto a proposed merge.
+// id the caller manages); CanMerge may veto a proposed merge.
 //
 // LaMoFinder uses this driver with occurrence-cluster ids, SO similarity,
 // and the border-informative-FC stopping rule. The simpler linkage-based
@@ -14,45 +17,160 @@ import "math"
 type Agglomerative struct {
 	// Sim returns the similarity of two live clusters.
 	Sim func(a, b int) float64
+	// BatchSim, if non-nil, computes the similarity of a against each id in
+	// bs, writing result i to out[i]. It replaces per-pair Sim calls when a
+	// cluster's whole similarity row is needed at once, letting callers
+	// fan the row out to a worker pool. BatchSim(a, bs, out) must be
+	// equivalent to out[i] = Sim(a, bs[i]) for every i.
+	BatchSim func(a int, bs []int, out []float64)
 	// Merge fuses cluster b into cluster a (or returns a fresh id).
 	Merge func(a, b int) int
 	// CanMerge, if non-nil, vetoes merges (e.g. a stopping criterion per
-	// cluster). A cluster that can no longer merge is frozen.
+	// cluster). It must be stable: its verdict for a given pair of live
+	// ids may not change while both remain live.
 	CanMerge func(a, b int) bool
 	// MinSim stops the process when the best available pair's similarity
 	// falls below this threshold.
 	MinSim float64
 }
 
+// mergeCand is one candidate merge in the lazy max-heap. va and vb snapshot
+// the version of each cluster when the candidate was scored; a candidate
+// whose clusters have since merged (version bumped) is stale and is skipped
+// when popped.
+type mergeCand struct {
+	sim    float64
+	a, b   int // cluster ids, a < b
+	va, vb uint32
+}
+
+// candHeap orders candidates by similarity (descending), breaking ties by
+// the smaller id pair (a ascending, then b ascending) so the merge sequence
+// is a deterministic function of the similarity structure alone.
+type candHeap []mergeCand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].sim > h[j].sim {
+		return true
+	}
+	if h[i].sim < h[j].sim {
+		return false
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(mergeCand)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // Run clusters the given live ids until no admissible pair remains, and
-// returns the surviving cluster ids (frozen and merged alike).
+// returns the surviving cluster ids (frozen and merged alike) in first-seen
+// order: input ids first, then merged ids in creation order.
+//
+// The driver keeps a max-heap of candidate merges with lazy invalidation:
+// each cluster id carries a version, candidates snapshot the versions of
+// their two clusters, and a popped candidate is discarded when either
+// version is out of date. A merge therefore costs one row of similarity
+// computations (the merged cluster against the survivors) plus O(log h)
+// heap maintenance, instead of the full O(k^2) rescan of the naive loop.
+// Ties are broken by the smaller id pair, so the result is a deterministic
+// function of the similarity values regardless of how rows are computed.
 func (ag *Agglomerative) Run(ids []int) []int {
-	live := append([]int(nil), ids...)
-	for len(live) > 1 {
-		bi, bj := -1, -1
-		best := math.Inf(-1)
-		for i := 0; i < len(live); i++ {
-			for j := i + 1; j < len(live); j++ {
-				if ag.CanMerge != nil && !ag.CanMerge(live[i], live[j]) {
-					continue
-				}
-				if s := ag.Sim(live[i], live[j]); s > best {
-					best, bi, bj = s, i, j
-				}
+	batch := ag.BatchSim
+	if batch == nil {
+		batch = func(a int, bs []int, out []float64) {
+			for i, b := range bs {
+				out[i] = ag.Sim(a, b)
 			}
 		}
-		if bi < 0 || best < ag.MinSim {
-			break
-		}
-		merged := ag.Merge(live[bi], live[bj])
-		// Remove bj first (higher index), then replace bi.
-		live[bj] = live[len(live)-1]
-		live = live[:len(live)-1]
-		// bi may have been the swapped-in slot only if bi == len(live); it
-		// cannot be, since bi < bj <= len(live).
-		live[bi] = merged
 	}
-	return live
+	admissible := func(a, b int) bool {
+		return ag.CanMerge == nil || ag.CanMerge(a, b)
+	}
+
+	ver := make(map[int]uint32, len(ids))
+	order := make([]int, 0, len(ids))
+	for _, id := range ids {
+		ver[id] = 0
+		order = append(order, id)
+	}
+
+	h := &candHeap{}
+	// pushRow scores cluster a against every live peer in bs and pushes the
+	// admissible candidates. Rows are scored through batch so callers can
+	// parallelize them; results land in index-addressed slots, keeping the
+	// candidate set independent of the evaluation schedule.
+	pushRow := func(a int, bs []int) {
+		if len(bs) == 0 {
+			return
+		}
+		sims := make([]float64, len(bs))
+		batch(a, bs, sims)
+		for i, b := range bs {
+			x, y := a, b
+			if x > y {
+				x, y = y, x
+			}
+			heap.Push(h, mergeCand{sim: sims[i], a: x, b: y, va: ver[x], vb: ver[y]})
+		}
+	}
+
+	// Initial pairwise rows: each id against the admissible ids after it.
+	for i, a := range ids {
+		var bs []int
+		for _, b := range ids[i+1:] {
+			if admissible(a, b) {
+				bs = append(bs, b)
+			}
+		}
+		pushRow(a, bs)
+	}
+
+	nextVer := uint32(1)
+	for h.Len() > 0 {
+		c := heap.Pop(h).(mergeCand)
+		va, aLive := ver[c.a]
+		vb, bLive := ver[c.b]
+		if !aLive || !bLive || va != c.va || vb != c.vb {
+			continue // stale: one side has merged since this was scored
+		}
+		if c.sim < ag.MinSim {
+			break // max-heap: nothing better remains
+		}
+		merged := ag.Merge(c.a, c.b)
+		delete(ver, c.a)
+		delete(ver, c.b)
+		ver[merged] = nextVer // reused ids get a fresh version, stale entries die
+		nextVer++
+		order = append(order, merged)
+
+		var bs []int
+		for _, b := range order {
+			if _, live := ver[b]; live && b != merged && admissible(merged, b) {
+				bs = append(bs, b)
+			}
+		}
+		pushRow(merged, bs)
+	}
+
+	out := make([]int, 0, len(ver))
+	seen := make(map[int]bool, len(ver))
+	for _, id := range order {
+		if _, live := ver[id]; live && !seen[id] {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	return out
 }
 
 // Dendrogram records one merge step of HierarchicalLinkage.

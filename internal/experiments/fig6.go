@@ -8,6 +8,7 @@ import (
 	"lamofinder/internal/dataset"
 	"lamofinder/internal/label"
 	"lamofinder/internal/motif"
+	"lamofinder/internal/par"
 )
 
 // Figure6Config sizes the Figure-6 pipeline (mine -> null model -> label).
@@ -122,13 +123,24 @@ func Figure6(cfg Figure6Config) *Figure6Result {
 	if branches > 3 {
 		branches = 3
 	}
+	// Label every (branch, motif) pair concurrently: job j writes only its
+	// own slot, and the serial aggregation below walks slots in job order,
+	// so the tallies match the old nested loops exactly.
+	labelers := make([]*label.Labeler, branches)
 	for b := 0; b < branches; b++ {
-		labeler := label.NewLabeler(y.Corpora[b], cfg.Label)
-		for _, m := range unique {
-			for _, lm := range labeler.LabelMotif(m) {
-				res.CountBySize[lm.Size()]++
-				res.LabeledMotifs++
-			}
+		labelers[b] = label.NewLabeler(y.Corpora[b], cfg.Label)
+	}
+	slots := make([][]int, branches*len(unique))
+	par.Do(len(slots), par.Workers(cfg.Label.Parallelism), func(j int) {
+		b, i := j/len(unique), j%len(unique)
+		for _, lm := range labelers[b].LabelMotif(unique[i]) {
+			slots[j] = append(slots[j], lm.Size())
+		}
+	})
+	for _, sizes := range slots {
+		for _, size := range sizes {
+			res.CountBySize[size]++
+			res.LabeledMotifs++
 		}
 	}
 	best, bestC := 0, -1

@@ -8,6 +8,7 @@ import (
 	"lamofinder/internal/dataset"
 	"lamofinder/internal/label"
 	"lamofinder/internal/motif"
+	"lamofinder/internal/par"
 )
 
 // Figure7Result collects example labeled motifs of the three kinds the
@@ -70,9 +71,25 @@ func Figure7(cfg Figure7Config) *Figure7Result {
 	procO := y.Corpora[dataset.Process].Ontology()
 	locO := y.Corpora[dataset.Component].Ontology()
 
+	// Label each mined motif concurrently into its own slot; the exhibit
+	// pass below walks slots in mined order, so "first found" picks the
+	// same exhibits as the old serial loop.
+	type fig7Slot struct {
+		funcMotifs, locMotifs []*label.LabeledMotif
+	}
+	slots := make([]fig7Slot, len(mined))
+	par.Do(len(mined), par.Workers(cfg.Label.Parallelism), func(i int) {
+		fm := procLabeler.LabelMotif(mined[i])
+		slots[i].funcMotifs = fm
+		// Parallel labels: the same motif labeled on both branches.
+		if len(fm) > 0 {
+			slots[i].locMotifs = locLabeler.LabelMotif(mined[i])
+		}
+	})
+
 	res := &Figure7Result{}
-	for _, m := range mined {
-		funcMotifs := procLabeler.LabelMotif(m)
+	for i := range slots {
+		funcMotifs := slots[i].funcMotifs
 		for _, lm := range funcMotifs {
 			switch labelKind(lm) {
 			case "uni":
@@ -87,15 +104,12 @@ func Figure7(cfg Figure7Config) *Figure7Result {
 				}
 			}
 		}
-		// Parallel labels: the same motif labeled on both branches.
-		if len(funcMotifs) > 0 {
-			locMotifs := locLabeler.LabelMotif(m)
-			if len(locMotifs) > 0 {
-				res.ParallelCount++
-				if res.ParallelLabeled == "" {
-					res.ParallelLabeled = fmt.Sprintf("function: %s\n  location: %s",
-						funcMotifs[0].Describe(procO), locMotifs[0].Describe(locO))
-				}
+		locMotifs := slots[i].locMotifs
+		if len(funcMotifs) > 0 && len(locMotifs) > 0 {
+			res.ParallelCount++
+			if res.ParallelLabeled == "" {
+				res.ParallelLabeled = fmt.Sprintf("function: %s\n  location: %s",
+					funcMotifs[0].Describe(procO), locMotifs[0].Describe(locO))
 			}
 		}
 	}

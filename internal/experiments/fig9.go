@@ -9,6 +9,7 @@ import (
 	"lamofinder/internal/eval"
 	"lamofinder/internal/label"
 	"lamofinder/internal/motif"
+	"lamofinder/internal/par"
 	"lamofinder/internal/predict"
 )
 
@@ -124,13 +125,29 @@ func Figure9(cfg Figure9Config) *Figure9Result {
 	if cfg.IncludeGibbs {
 		scorers = append(scorers, predict.NewGibbsMRF(m.Task, predict.DefaultGibbsConfig()))
 	}
-	macro := map[string]float64{}
-	for _, s := range scorers {
+	// Evaluate the methods concurrently, one goroutine per scorer: the task
+	// is read-only during scoring, and confining each scorer to a single
+	// worker keeps any internal scorer caches single-threaded. Results land
+	// in indexed slots, so curve order matches the scorer list.
+	type scorerEval struct {
+		curve eval.Curve
+		macro float64
+		name  string
+	}
+	evals := make([]scorerEval, len(scorers))
+	par.Do(len(scorers), par.Workers(cfg.Label.Parallelism), func(i int) {
+		s := scorers[i]
 		_, ma := eval.AUC(m.Task, s)
-		macro[s.Name()] = ma
+		evals[i] = scorerEval{curve: eval.LeaveOneOut(m.Task, s, cfg.MaxK), macro: ma, name: s.Name()}
+	})
+	macro := map[string]float64{}
+	curves := make([]eval.Curve, len(evals))
+	for i, ev := range evals {
+		curves[i] = ev.curve
+		macro[ev.name] = ev.macro
 	}
 	res := &Figure9Result{
-		Curves:        eval.CompareAll(m.Task, scorers, cfg.MaxK),
+		Curves:        curves,
 		MacroAUC:      macro,
 		MinedClasses:  len(mined),
 		UniqueMotifs:  len(unique),

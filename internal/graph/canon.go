@@ -198,14 +198,16 @@ func Isomorphic(a, b *Dense) bool {
 // combining exact canonical keys (small graphs) with invariant buckets
 // resolved by VF2 (meso-scale graphs).
 type Classifier struct {
-	byKey map[string]int   // exact canonical key -> class id (n <= canonExactMax)
-	byInv map[uint64][]int // invariant -> candidate class ids (n > canonExactMax)
-	reps  []*Dense         // class id -> representative
+	byRaw  map[string]int   // raw (uncanonicalized) adjacency bits -> class id
+	byKey  map[string]int   // exact canonical key -> class id (n <= canonExactMax)
+	byInv  map[uint64][]int // invariant -> candidate class ids (n > canonExactMax)
+	reps   []*Dense         // class id -> representative
+	occMap map[string][]int // raw adjacency bits -> rep-order mapping (see OccMapping)
 }
 
 // NewClassifier returns an empty classifier.
 func NewClassifier() *Classifier {
-	return &Classifier{byKey: map[string]int{}, byInv: map[uint64][]int{}}
+	return &Classifier{byRaw: map[string]int{}, byKey: map[string]int{}, byInv: map[uint64][]int{}}
 }
 
 // NumClasses returns the number of distinct isomorphism classes seen.
@@ -216,7 +218,44 @@ func (c *Classifier) Rep(id int) *Dense { return c.reps[id] }
 
 // Classify returns the isomorphism class id of d, allocating a new class if
 // d is not isomorphic to any previously classified graph.
+//
+// Identical raw adjacency matrices (same vertex labeling, not merely
+// isomorphic) are resolved through a first-level cache: subgraph
+// enumeration presents the same few labeled shapes over and over, and the
+// raw-bits lookup skips the canonical search entirely on those hits. The
+// cache is an implementation detail — it cannot change any class id, only
+// the cost of computing it.
 func (c *Classifier) Classify(d *Dense) int {
+	raw := d.bitsKey()
+	if id, ok := c.byRaw[raw]; ok {
+		return id
+	}
+	id := c.classifySlow(d)
+	c.byRaw[raw] = id
+	return id
+}
+
+// OccMapping returns IsoMapping(c.Rep(id), d) for a graph d previously
+// classified into class id, memoized by d's raw adjacency bits: identical
+// labeled graphs always yield the identical mapping, and enumeration
+// presents the same labeled shapes repeatedly. Callers must treat the
+// returned slice as read-only.
+func (c *Classifier) OccMapping(id int, d *Dense) []int {
+	raw := d.bitsKey()
+	if mp, ok := c.occMap[raw]; ok {
+		return mp
+	}
+	mp := IsoMapping(c.reps[id], d)
+	if c.occMap == nil {
+		c.occMap = map[string][]int{}
+	}
+	c.occMap[raw] = mp
+	return mp
+}
+
+// classifySlow is Classify without the raw-bits shortcut: canonical keys for
+// small graphs, invariant buckets plus VF2 for meso-scale ones.
+func (c *Classifier) classifySlow(d *Dense) int {
 	if d.n <= canonExactMax {
 		k := CanonicalKey(d)
 		if id, ok := c.byKey[k]; ok {

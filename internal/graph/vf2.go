@@ -169,15 +169,22 @@ func AutomorphismCount(d *Dense, cap int) int {
 // when the budget is exhausted the count found so far is returned with
 // exact = false.
 func CountInducedUpTo(g *Graph, pattern *Dense, limit int, maxSteps int64) (count int, exact bool) {
+	return CountInducedUpToAdj(g, nil, pattern, limit, maxSteps)
+}
+
+// CountInducedUpToAdj is CountInducedUpTo with a prebuilt adjacency bitmap
+// for g (may be nil). Callers that count many patterns against the same
+// graph build the bitmap once and skip the per-edge-test binary search.
+func CountInducedUpToAdj(g *Graph, adj *AdjBits, pattern *Dense, limit int, maxSteps int64) (count int, exact bool) {
 	aut := AutomorphismCount(pattern, 0)
-	mappings, exact := countMappings(g, pattern, int64(limit)*int64(aut), maxSteps)
+	mappings, exact := countMappings(g, adj, pattern, int64(limit)*int64(aut), maxSteps)
 	return int(mappings / int64(aut)), exact
 }
 
 // countMappings counts injective induced-isomorphism mappings of pattern
 // into g, stopping at mapLimit (<= 0: exhaustive) or after maxSteps
-// extensions.
-func countMappings(g *Graph, pattern *Dense, mapLimit int64, maxSteps int64) (int64, bool) {
+// extensions. adj, when non-nil, must be NewAdjBits(g).
+func countMappings(g *Graph, adj *AdjBits, pattern *Dense, mapLimit int64, maxSteps int64) (int64, bool) {
 	k := pattern.n
 	if k == 0 {
 		return 0, true
@@ -202,6 +209,10 @@ func countMappings(g *Graph, pattern *Dense, mapLimit int64, maxSteps int64) (in
 				nadjPrev[pos] = append(nadjPrev[pos], p)
 			}
 		}
+	}
+	hasEdge := g.HasEdge
+	if adj != nil {
+		hasEdge = adj.Has
 	}
 	mapped := make([]int, k) // position -> graph vertex
 	usedG := make([]bool, g.N())
@@ -228,12 +239,12 @@ func countMappings(g *Graph, pattern *Dense, mapLimit int64, maxSteps int64) (in
 				return
 			}
 			for _, p := range adjPrev[pos] {
-				if !g.HasEdge(gv, mapped[p]) {
+				if !hasEdge(gv, mapped[p]) {
 					return
 				}
 			}
 			for _, p := range nadjPrev[pos] {
-				if g.HasEdge(gv, mapped[p]) {
+				if hasEdge(gv, mapped[p]) {
 					return
 				}
 			}

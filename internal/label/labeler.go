@@ -2,13 +2,14 @@ package label
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
+	"lamofinder/internal/cluster"
 	"lamofinder/internal/graph"
 	"lamofinder/internal/motif"
 	"lamofinder/internal/ontology"
+	"lamofinder/internal/par"
 )
 
 // Config controls LaMoFinder.
@@ -34,6 +35,12 @@ type Config struct {
 	// terms in merged schemes, so the default is false; generalization is
 	// bounded by the border stopping rule either way.
 	RestrictLabelSpace bool
+	// Parallelism caps the worker goroutines used for occurrence-similarity
+	// rows and per-motif labeling (0 = runtime.GOMAXPROCS(0)). Output is
+	// byte-identical at every setting: similarity rows land in
+	// index-addressed slots and merge order is a deterministic function of
+	// the similarity values (see DESIGN.md, "Parallel architecture").
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -216,52 +223,41 @@ func (l *Labeler) LabelOccurrences(nv int, occurrences [][]int32, sym *Symmetry)
 		clusters = append(clusters, cs)
 	}
 
-	// Pairwise similarity cache over live cluster slots.
-	live := make([]int, len(clusters))
-	for i := range live {
-		live[i] = i
-	}
-	simAt := make(map[[2]int]float64)
-	getSim := func(a, b int) float64 {
-		if a > b {
-			a, b = b, a
-		}
-		key := [2]int{a, b}
-		if v, ok := simAt[key]; ok {
-			return v
-		}
+	// Agglomeration (Algorithm 1 lines 5-14) runs on the generic lazy-heap
+	// driver: each cluster's similarity row is computed once, fanned out to
+	// the worker pool, and merges pop from a max-heap with stale-entry
+	// invalidation. Results are identical at any worker count because the
+	// similarity values are pure functions of the schemes and the driver
+	// breaks ties by cluster id, not by evaluation order.
+	simOf := func(a, b int) float64 {
 		so, _ := l.sim.Occurrence(clusters[a].scheme, clusters[b].scheme, sym)
-		simAt[key] = so
 		return so
 	}
-
-	for {
-		bi, bj := -1, -1
-		best := math.Inf(-1)
-		for i := 0; i < len(live); i++ {
-			if clusters[live[i]].frozen {
-				continue
+	ag := &cluster.Agglomerative{
+		Sim: simOf,
+		BatchSim: func(a int, bs []int, out []float64) {
+			// Short rows are cheaper serial than the goroutine handoff; the
+			// threshold only moves work between schedules, never changes it.
+			workers := par.Workers(l.cfg.Parallelism)
+			if len(bs) < minParallelRow {
+				workers = 1
 			}
-			for j := i + 1; j < len(live); j++ {
-				if clusters[live[j]].frozen {
-					continue
-				}
-				if s := getSim(live[i], live[j]); s > best {
-					best, bi, bj = s, i, j
-				}
-			}
-		}
-		if bi < 0 || best < l.cfg.MinSim {
-			break
-		}
-		a, b := clusters[live[bi]], clusters[live[bj]]
-		merged := l.merge(a, b, sym)
-		clusters = append(clusters, merged)
-		id := len(clusters) - 1
-		live[bj] = live[len(live)-1]
-		live = live[:len(live)-1]
-		live[bi] = id
+			par.Do(len(bs), workers, func(i int) { out[i] = simOf(a, bs[i]) })
+		},
+		Merge: func(a, b int) int {
+			clusters = append(clusters, l.merge(clusters[a], clusters[b], sym))
+			return len(clusters) - 1
+		},
+		CanMerge: func(a, b int) bool {
+			return !clusters[a].frozen && !clusters[b].frozen
+		},
+		MinSim: l.cfg.MinSim,
 	}
+	ids := make([]int, len(clusters))
+	for i := range ids {
+		ids[i] = i
+	}
+	live := ag.Run(ids)
 
 	// Emit clusters meeting the frequency threshold (Algorithm 1 line 15).
 	// Root-weight labels (w = 1) carry no information and are stripped from
@@ -322,11 +318,23 @@ func (l *Labeler) isFrozen(cs *clusterState) bool {
 	return 2*at >= n
 }
 
-// LabelAll runs LabelMotif over every motif and flattens the results.
+// minParallelRow is the smallest similarity row fanned out to the worker
+// pool; shorter rows run serially to skip the goroutine handoff cost.
+const minParallelRow = 32
+
+// LabelAll runs LabelMotif over every motif and flattens the results in
+// motif order. Motifs are labeled concurrently (the Labeler is safe for
+// concurrent use: the term cache is sharded, everything else is read-only),
+// with each motif's schemes written to its own index so the flattened
+// output is independent of the schedule.
 func (l *Labeler) LabelAll(ms []*motif.Motif) []*LabeledMotif {
+	results := make([][]*LabeledMotif, len(ms))
+	par.Do(len(ms), par.Workers(l.cfg.Parallelism), func(i int) {
+		results[i] = l.LabelMotif(ms[i])
+	})
 	var out []*LabeledMotif
-	for _, m := range ms {
-		out = append(out, l.LabelMotif(m)...)
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	return out
 }

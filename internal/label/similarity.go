@@ -8,6 +8,10 @@
 package label
 
 import (
+	"math"
+	"sync"
+	"sync/atomic"
+
 	"lamofinder/internal/cluster"
 	"lamofinder/internal/ontology"
 )
@@ -17,16 +21,96 @@ import (
 // take their labels from the annotated occurrences.
 const UnknownSim = 0.5
 
-// Sim computes GO-based similarities with memoized Lin term scores.
+// stShardCount is the number of lock shards in the term-similarity cache;
+// a power of two so shard selection is a mask.
+const stShardCount = 64
+
+// stDenseMaxTerms bounds the term-space size for which the cache uses the
+// dense atomic table (n^2 float64 slots); above it, memory would grow
+// quadratically into real GO scale, so the sharded maps take over.
+const stDenseMaxTerms = 1536
+
+type stShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+// stCache memoizes Lin term scores for concurrent similarity workers.
+//
+// Two layouts share the type. For small term spaces (synthetic branches,
+// the worked example) a dense n*n table of atomic slots serves hits with a
+// single load — no lock traffic on the hot path, which matters because the
+// labeler queries the cache millions of times. Large term spaces fall back
+// to maps behind sharded read-write locks. Either way, cached values are
+// pure functions of the key, so a racing double-compute stores the same
+// value twice and determinism is unaffected.
+type stCache struct {
+	dense  []atomic.Uint64 // nil => sharded maps; slot ta*denseN+tb
+	denseN int
+	shards [stShardCount]stShard
+}
+
+func newSTCache(numTerms int) *stCache {
+	c := &stCache{}
+	if numTerms > 0 && numTerms <= stDenseMaxTerms {
+		c.dense = make([]atomic.Uint64, numTerms*numTerms)
+		c.denseN = numTerms
+		return c
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[uint64]float64{}
+	}
+	return c
+}
+
+// Dense slots hold math.Float64bits(v)+1 so that the zero value of a fresh
+// slot is distinguishable from a cached 0.0 (whose bit pattern is 0).
+func stEncode(v float64) uint64 { return math.Float64bits(v) + 1 }
+func stDecode(b uint64) float64 { return math.Float64frombits(b - 1) }
+
+func (c *stCache) shard(key uint64) *stShard {
+	return &c.shards[(key*0x9e3779b97f4a7c15)>>58&(stShardCount-1)]
+}
+
+// get returns the cached value for the term pair (ta <= tb), computing and
+// storing it via f on a miss.
+func (c *stCache) get(ta, tb int, f func() float64) float64 {
+	if c.dense != nil {
+		slot := &c.dense[ta*c.denseN+tb]
+		if b := slot.Load(); b != 0 {
+			return stDecode(b)
+		}
+		v := f()
+		slot.Store(stEncode(v))
+		return v
+	}
+	key := uint64(ta)<<32 | uint64(uint32(tb))
+	sh := c.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = f()
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Sim computes GO-based similarities with memoized Lin term scores. It is
+// safe for concurrent use: the memo table is sharded (see stCache), and the
+// ontology and weights are read-only.
 type Sim struct {
 	o  *ontology.Ontology
 	w  ontology.Weights
-	st map[uint64]float64
+	st *stCache
 }
 
 // NewSim returns a similarity calculator over the given ontology/weights.
 func NewSim(o *ontology.Ontology, w ontology.Weights) *Sim {
-	return &Sim{o: o, w: w, st: map[uint64]float64{}}
+	return &Sim{o: o, w: w, st: newSTCache(o.NumTerms())}
 }
 
 // Term returns the Lin similarity ST(ta, tb) (Eq. 1), memoized.
@@ -34,13 +118,7 @@ func (s *Sim) Term(ta, tb int) float64 {
 	if ta > tb {
 		ta, tb = tb, ta
 	}
-	key := uint64(ta)<<32 | uint64(uint32(tb))
-	if v, ok := s.st[key]; ok {
-		return v
-	}
-	v := s.o.Lin(s.w, ta, tb)
-	s.st[key] = v
-	return v
+	return s.st.get(ta, tb, func() float64 { return s.o.Lin(s.w, ta, tb) })
 }
 
 // Vertex returns SV(vi, vj) (Eq. 2) for two direct-annotation term sets:

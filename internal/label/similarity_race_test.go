@@ -1,0 +1,135 @@
+package label
+
+import (
+	"sync"
+	"testing"
+
+	"lamofinder/internal/dataset"
+)
+
+// hammerSTCache drives many goroutines through the same stCache with
+// overlapping key sets and verifies every goroutine observes identical
+// values. Run under -race this exercises both cache layouts' concurrent
+// paths (dense atomic slots and sharded maps).
+func hammerSTCache(t *testing.T, numTerms int, compute func(ta, tb int) float64) {
+	t.Helper()
+	c := newSTCache(numTerms)
+	const goroutines = 16
+	const rounds = 4
+	got := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			var vals []float64
+			for round := 0; round < rounds; round++ {
+				for ta := 0; ta < numTerms; ta++ {
+					for tb := ta; tb < numTerms; tb++ {
+						vals = append(vals, c.get(ta, tb, func() float64 { return compute(ta, tb) }))
+					}
+				}
+			}
+			got[gi] = vals
+		}(gi)
+	}
+	wg.Wait()
+	for gi := 1; gi < goroutines; gi++ {
+		if len(got[gi]) != len(got[0]) {
+			t.Fatalf("goroutine %d saw %d values, goroutine 0 saw %d", gi, len(got[gi]), len(got[0]))
+		}
+		for i := range got[gi] {
+			if got[gi][i] != got[0][i] {
+				t.Fatalf("goroutine %d value %d = %v, goroutine 0 saw %v", gi, i, got[gi][i], got[0][i])
+			}
+		}
+	}
+}
+
+func TestSTCacheConcurrentDense(t *testing.T) {
+	// 40 terms stays well under stDenseMaxTerms: the dense atomic layout.
+	hammerSTCache(t, 40, func(ta, tb int) float64 {
+		return float64(ta*1009+tb) / float64(40*1009+40)
+	})
+}
+
+func TestSTCacheConcurrentSharded(t *testing.T) {
+	// Force the sharded-map layout by building the cache for a term space
+	// above the dense cutoff, then touching only a prefix of it.
+	c := newSTCache(stDenseMaxTerms + 1)
+	if c.dense != nil {
+		t.Fatalf("term space %d should use the sharded layout", stDenseMaxTerms+1)
+	}
+	const n = 48
+	const goroutines = 16
+	got := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			var vals []float64
+			for ta := 0; ta < n; ta++ {
+				for tb := ta; tb < n; tb++ {
+					vals = append(vals, c.get(ta, tb, func() float64 { return float64(ta ^ tb) }))
+				}
+			}
+			got[gi] = vals
+		}(gi)
+	}
+	wg.Wait()
+	for gi := 1; gi < goroutines; gi++ {
+		for i := range got[gi] {
+			if got[gi][i] != got[0][i] {
+				t.Fatalf("goroutine %d value %d = %v, goroutine 0 saw %v", gi, i, got[gi][i], got[0][i])
+			}
+		}
+	}
+}
+
+// TestSimConcurrentTerm hammers the public Sim.Term path on the worked
+// example's real ontology from many goroutines; -race certifies the memoized
+// Lin scores are safely shared the way LabelAll's workers share them.
+func TestSimConcurrentTerm(t *testing.T) {
+	pe := dataset.NewPaperExample()
+	s := NewSim(pe.Ontology, pe.Weights())
+	nt := pe.Ontology.NumTerms()
+
+	want := make([]float64, nt*nt)
+	for ta := 0; ta < nt; ta++ {
+		for tb := 0; tb < nt; tb++ {
+			want[ta*nt+tb] = s.Term(ta, tb)
+		}
+	}
+
+	fresh := NewSim(pe.Ontology, pe.Weights())
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for gi := 0; gi < 8; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			// Different goroutines sweep in different orders so computes and
+			// lookups interleave.
+			for k := 0; k < nt*nt; k++ {
+				idx := k
+				if gi%2 == 1 {
+					idx = nt*nt - 1 - k
+				}
+				ta, tb := idx/nt, idx%nt
+				if got := fresh.Term(ta, tb); got != want[ta*nt+tb] {
+					select {
+					case errs <- "Term mismatch under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"lamofinder/internal/graph"
+	"lamofinder/internal/par"
 )
 
 // EnumerateESU enumerates every connected vertex set of size k exactly once
@@ -13,7 +14,15 @@ func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
 	if k <= 0 {
 		return
 	}
-	n := g.N()
+	enumerateESURange(g, k, 0, g.N(), visit)
+}
+
+// enumerateESURange enumerates every connected k-set whose ESU root (the
+// set's smallest vertex) lies in [lo, hi), in ascending root order. The
+// union over a partition of [0, n) is exactly the full enumeration, which
+// is what lets the census fan roots out to workers. It reports whether the
+// enumeration ran to completion (visit never returned false).
+func enumerateESURange(g *graph.Graph, k, lo, hi int, visit func(vs []int32) bool) bool {
 	sub := make([]int32, 0, k)
 	stopped := false
 
@@ -68,7 +77,7 @@ func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
 		}
 	}
 
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		var ext []int32
 		for _, u := range g.Neighbors(v) {
 			if u > int32(v) {
@@ -78,9 +87,10 @@ func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
 		sub = append(sub[:0], int32(v))
 		extend(ext, int32(v))
 		if stopped {
-			return
+			return false
 		}
 	}
+	return true
 }
 
 func contains(s []int32, x int32) bool {
@@ -92,36 +102,105 @@ func contains(s []int32, x int32) bool {
 	return false
 }
 
+// esuRootChunk is the fixed number of ESU roots per work chunk. Chunk
+// boundaries depend only on the graph size — never on the worker count —
+// so chunk-ordered merging yields the same census at any parallelism.
+const esuRootChunk = 64
+
+// chunkCensus is one root chunk's private census: a local classifier plus
+// per-class frequencies and capped occurrence lists, with class ids in
+// first-seen enumeration order.
+type chunkCensus struct {
+	cl     *graph.Classifier
+	order  []int
+	motifs map[int]*Motif
+}
+
 // CensusESU counts, per isomorphism class, the connected induced size-k
 // subgraphs of g, returning class representatives with frequencies and up to
 // maxOcc stored occurrences per class (0 = store all). This is the exact
-// small-k counterpart of the meso-scale miner.
+// small-k counterpart of the meso-scale miner. Roots are processed on
+// GOMAXPROCS workers; see CensusESUParallel.
 func CensusESU(g *graph.Graph, k, maxOcc int) []*Motif {
+	return CensusESUParallel(g, k, maxOcc, 0)
+}
+
+// CensusESUParallel is CensusESU with an explicit worker count
+// (0 = runtime.GOMAXPROCS(0)). Root vertices are partitioned into
+// fixed-size chunks enumerated concurrently, each into a private census;
+// the per-chunk results then merge serially in chunk order. Because the
+// chunking is worker-independent and the merge is ordered, the output —
+// class order, frequencies, and the identity and order of stored
+// occurrences — is the same at every parallelism level.
+func CensusESUParallel(g *graph.Graph, k, maxOcc, workers int) []*Motif {
+	if k <= 0 {
+		return nil
+	}
+	n := g.N()
+	chunks := make([]*chunkCensus, par.NumChunks(n, esuRootChunk))
+	par.Chunks(n, esuRootChunk, workers, func(c, lo, hi int) {
+		cc := &chunkCensus{cl: graph.NewClassifier(), motifs: map[int]*Motif{}}
+		enumerateESURange(g, k, lo, hi, func(vs []int32) bool {
+			d := g.Induced(vs)
+			id := cc.cl.Classify(d)
+			m := cc.motifs[id]
+			if m == nil {
+				m = &Motif{Pattern: cc.cl.Rep(id), Uniqueness: -1}
+				cc.motifs[id] = m
+				cc.order = append(cc.order, id)
+			}
+			m.Frequency++
+			if maxOcc == 0 || len(m.Occurrences) < maxOcc {
+				mp := cc.cl.OccMapping(id, d)
+				occ := make([]int32, len(vs))
+				for i := range vs {
+					occ[i] = vs[mp[i]]
+				}
+				m.Occurrences = append(m.Occurrences, occ)
+			}
+			return true
+		})
+		chunks[c] = cc
+	})
+
+	// Ordered merge: a global classifier assigns ids in chunk-then-first-seen
+	// order (= enumeration order), and each local occurrence list is
+	// translated from the local representative's vertex order to the global
+	// one before concatenation.
 	cl := graph.NewClassifier()
 	byClass := map[int]*Motif{}
-	EnumerateESU(g, k, func(vs []int32) bool {
-		d := g.Induced(vs)
-		id := cl.Classify(d)
-		m := byClass[id]
-		if m == nil {
-			m = &Motif{Pattern: cl.Rep(id), Uniqueness: -1}
-			byClass[id] = m
-		}
-		m.Frequency++
-		if maxOcc == 0 || len(m.Occurrences) < maxOcc {
-			mp := graph.IsoMapping(m.Pattern, d)
-			occ := make([]int32, len(vs))
-			for i := range vs {
-				occ[i] = vs[mp[i]]
+	var order []int
+	for _, cc := range chunks {
+		for _, lid := range cc.order {
+			lm := cc.motifs[lid]
+			gid := cl.Classify(lm.Pattern)
+			gm := byClass[gid]
+			if gm == nil {
+				gm = &Motif{Pattern: cl.Rep(gid), Uniqueness: -1}
+				byClass[gid] = gm
+				order = append(order, gid)
 			}
-			m.Occurrences = append(m.Occurrences, occ)
+			gm.Frequency += lm.Frequency
+			if len(lm.Occurrences) == 0 || (maxOcc != 0 && len(gm.Occurrences) >= maxOcc) {
+				continue
+			}
+			remap := graph.IsoMapping(gm.Pattern, lm.Pattern)
+			for _, occ := range lm.Occurrences {
+				if maxOcc != 0 && len(gm.Occurrences) >= maxOcc {
+					break
+				}
+				no := make([]int32, len(occ))
+				for i := range no {
+					no[i] = occ[remap[i]]
+				}
+				gm.Occurrences = append(gm.Occurrences, no)
+			}
 		}
-		return true
-	})
-	out := make([]*Motif, 0, len(byClass))
-	for _, m := range byClass {
-		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Frequency > out[j].Frequency })
+	out := make([]*Motif, 0, len(order))
+	for _, gid := range order {
+		out = append(out, byClass[gid])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Frequency > out[j].Frequency })
 	return out
 }

@@ -174,7 +174,7 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 							slot = r
 						}
 						if slot >= 0 {
-							mp := graph.IsoMapping(ns.pattern, d)
+							mp := cl.OccMapping(id, d)
 							no := make([]int32, len(vs))
 							for i := range vs {
 								no[i] = vs[mp[i]]

@@ -99,7 +99,7 @@ func NeMoFind(g *graph.Graph, cfg NeMoConfig) []*Motif {
 					byClass[id] = m
 				}
 				m.Frequency++
-				mp := graph.IsoMapping(m.Pattern, d)
+				mp := cl.OccMapping(id, d)
 				occ := make([]int32, len(vs))
 				for i := range vs {
 					occ[i] = vs[mp[i]]

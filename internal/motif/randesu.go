@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lamofinder/internal/graph"
+	"lamofinder/internal/par"
 )
 
 // RandESUConfig controls the RAND-ESU sampling estimator (Wernicke 2005,
@@ -24,6 +25,11 @@ type RandESUConfig struct {
 	// get the small probabilities, as Wernicke recommends.
 	SampleFraction float64
 	Seed           int64
+	// Parallelism caps the concurrent root-chunk workers
+	// (0 = runtime.GOMAXPROCS(0)). Each fixed-size root chunk draws from
+	// its own RNG stream derived from Seed and the chunk index, so the
+	// sample — not just its distribution — is identical at any setting.
+	Parallelism int
 }
 
 // Concentration is a sampled estimate of one pattern class's share of all
@@ -39,9 +45,21 @@ type Concentration struct {
 	EstimatedTotal float64
 }
 
+// chunkSample is one root chunk's private tally of sampled leaves.
+type chunkSample struct {
+	cl     *graph.Classifier
+	order  []int
+	counts map[int]int
+	total  int
+}
+
 // SampleConcentrations estimates per-class subgraph concentrations with the
 // RAND-ESU tree-sampling scheme: the exact ESU enumeration tree is pruned
 // randomly but unbiasedly, each surviving leaf contributing one sample.
+// Root vertices are partitioned into fixed-size chunks sampled
+// concurrently; chunk c prunes with its own rand.New(rand.NewSource(Seed +
+// c*prime)) stream, and per-chunk tallies merge in chunk order, so the
+// estimate is deterministic and independent of the worker count.
 //
 // invariant: len(cfg.Probabilities), when set, equals cfg.K — one retention
 // probability per tree depth. A mismatched configuration is a programmer
@@ -66,18 +84,43 @@ func SampleConcentrations(g *graph.Graph, cfg RandESUConfig) []Concentration {
 	for _, p := range probs {
 		leafProb *= p
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	n := g.N()
+	chunks := make([]*chunkSample, par.NumChunks(n, esuRootChunk))
+	par.Chunks(n, esuRootChunk, par.Workers(cfg.Parallelism), func(c, lo, hi int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*0x9e3779b9))
+		cs := &chunkSample{cl: graph.NewClassifier(), counts: map[int]int{}}
+		sampleESURange(g, k, lo, hi, probs, rng, func(vs []int32) {
+			d := g.Induced(vs)
+			id := cs.cl.Classify(d)
+			if cs.counts[id] == 0 {
+				cs.order = append(cs.order, id)
+			}
+			cs.counts[id]++
+			cs.total++
+		})
+		chunks[c] = cs
+	})
+
+	// Chunk-ordered merge into one classifier.
 	cl := graph.NewClassifier()
 	counts := map[int]int{}
+	var order []int
 	total := 0
-	sampleESU(g, k, probs, rng, func(vs []int32) {
-		d := g.Induced(vs)
-		counts[cl.Classify(d)]++
-		total++
-	})
-	out := make([]Concentration, 0, len(counts))
-	for id, c := range counts {
+	for _, cs := range chunks {
+		for _, lid := range cs.order {
+			gid := cl.Classify(cs.cl.Rep(lid))
+			if counts[gid] == 0 {
+				order = append(order, gid)
+			}
+			counts[gid] += cs.counts[lid]
+		}
+		total += cs.total
+	}
+
+	out := make([]Concentration, 0, len(order))
+	for _, id := range order {
+		c := counts[id]
 		conc := Concentration{
 			Pattern: cl.Rep(id),
 			Count:   c,
@@ -90,7 +133,7 @@ func SampleConcentrations(g *graph.Graph, cfg RandESUConfig) []Concentration {
 		}
 		out = append(out, conc)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
 	return out
 }
 
@@ -115,11 +158,12 @@ func defaultProbs(k int, frac float64) []float64 {
 	return probs
 }
 
-// sampleESU is EnumerateESU with per-depth random pruning. Depth d is the
-// number of vertices already chosen; adding the (d+1)-th survives with
-// probability probs[d].
-func sampleESU(g *graph.Graph, k int, probs []float64, rng *rand.Rand, visit func(vs []int32)) {
-	n := g.N()
+// sampleESURange is enumerateESURange with per-depth random pruning over
+// the roots in [lo, hi). Depth d is the number of vertices already chosen;
+// adding the (d+1)-th survives with probability probs[d]. All randomness
+// comes from the injected rng, so a chunk's sample depends only on its own
+// stream.
+func sampleESURange(g *graph.Graph, k, lo, hi int, probs []float64, rng *rand.Rand, visit func(vs []int32)) {
 	sub := make([]int32, 0, k)
 
 	var extend func(ext []int32, root int32)
@@ -158,7 +202,7 @@ func sampleESU(g *graph.Graph, k int, probs []float64, rng *rand.Rand, visit fun
 		}
 	}
 
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
 		if rng.Float64() >= probs[0] {
 			continue
 		}

@@ -2,10 +2,9 @@ package motif
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"lamofinder/internal/graph"
+	"lamofinder/internal/par"
 	"lamofinder/internal/randnet"
 )
 
@@ -31,6 +30,11 @@ type UniquenessConfig struct {
 	CountCap int
 	// Seed drives the randomizations.
 	Seed int64
+	// Parallelism caps the concurrent per-network workers
+	// (0 = runtime.GOMAXPROCS(0)). Results are identical at any setting:
+	// each network derives its own RNG stream from Seed and writes to its
+	// own slot.
+	Parallelism int
 }
 
 // DefaultUniquenessConfig returns a screening-strength null model.
@@ -50,47 +54,39 @@ func ScoreUniqueness(g *graph.Graph, motifs []*Motif, cfg UniquenessConfig) {
 		return
 	}
 	winsPerNet := make([][]int, cfg.Networks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for r := 0; r < cfg.Networks; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9e3779b9))
-			rnet := randnet.Randomize(g, rng)
-			wins := make([]int, len(motifs))
-			for i, m := range motifs {
-				// Count up to Frequency+1 sets (capped): if the randomized
-				// network has more sets than the real one, the round is
-				// lost.
-				limit := m.Frequency + 1
-				if cfg.CountCap > 0 && limit > cfg.CountCap {
-					limit = cfg.CountCap
-				}
-				cnt, exact := graph.CountInducedUpTo(rnet, m.Pattern, limit, cfg.MaxSteps)
-				if !exact {
-					if cnt == 0 {
-						// Budget exhausted without completing one embedding:
-						// the pattern is rare in the randomized network.
-						wins[i]++
-					}
-					continue // otherwise: cannot certify this round
-				}
-				if cnt >= limit && limit <= m.Frequency {
-					// Hit the count cap below the real frequency: cannot
-					// certify.
-					continue
-				}
-				if cnt <= m.Frequency {
+	par.Do(cfg.Networks, par.Workers(cfg.Parallelism), func(r int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*0x9e3779b9))
+		rnet := randnet.Randomize(g, rng)
+		adj := graph.NewAdjBits(rnet)
+		wins := make([]int, len(motifs))
+		for i, m := range motifs {
+			// Count up to Frequency+1 sets (capped): if the randomized
+			// network has more sets than the real one, the round is
+			// lost.
+			limit := m.Frequency + 1
+			if cfg.CountCap > 0 && limit > cfg.CountCap {
+				limit = cfg.CountCap
+			}
+			cnt, exact := graph.CountInducedUpToAdj(rnet, adj, m.Pattern, limit, cfg.MaxSteps)
+			if !exact {
+				if cnt == 0 {
+					// Budget exhausted without completing one embedding:
+					// the pattern is rare in the randomized network.
 					wins[i]++
 				}
+				continue // otherwise: cannot certify this round
 			}
-			winsPerNet[r] = wins
-		}(r)
-	}
-	wg.Wait()
+			if cnt >= limit && limit <= m.Frequency {
+				// Hit the count cap below the real frequency: cannot
+				// certify.
+				continue
+			}
+			if cnt <= m.Frequency {
+				wins[i]++
+			}
+		}
+		winsPerNet[r] = wins
+	})
 	for i, m := range motifs {
 		total := 0
 		for r := range winsPerNet {

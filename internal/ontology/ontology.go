@@ -338,9 +338,7 @@ func (o *Ontology) LabelSpace(direct []int, minDirect int) []bool {
 func (o *Ontology) LCA(w Weights, ta, tb int) int {
 	best := -1
 	bw := math.Inf(1)
-	common := o.anc[ta].clone()
-	common.and(o.anc[tb])
-	common.each(func(t int) {
+	o.anc[ta].eachAnd(o.anc[tb], func(t int) {
 		if w[t] < bw {
 			best, bw = t, w[t]
 		}
@@ -352,10 +350,8 @@ func (o *Ontology) LCA(w Weights, ta, tb int) int {
 // has no common-ancestor descendant — the full frontier of "minimum common
 // father" terms, used by the least-general labeling scheme.
 func (o *Ontology) AllMinimalCommonAncestors(ta, tb int) []int {
-	common := o.anc[ta].clone()
-	common.and(o.anc[tb])
 	var cand []int
-	common.each(func(t int) { cand = append(cand, t) })
+	o.anc[ta].eachAnd(o.anc[tb], func(t int) { cand = append(cand, t) })
 	var out []int
 	for _, t := range cand {
 		minimal := true

@@ -13,6 +13,11 @@ import (
 // ErdosRenyi returns a G(n, m) random simple graph with exactly m edges
 // (or fewer if m exceeds the number of vertex pairs).
 func ErdosRenyi(n, m int, rng *rand.Rand) *graph.Graph {
+	if n < 2 {
+		// No vertex pair exists, so the rejection loop below could never
+		// terminate for m > 0.
+		return graph.New(max(n, 0))
+	}
 	g := graph.New(n)
 	maxM := n * (n - 1) / 2
 	if m > maxM {
@@ -20,6 +25,9 @@ func ErdosRenyi(n, m int, rng *rand.Rand) *graph.Graph {
 	}
 	for g.M() < m {
 		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
 		g.AddEdge(u, v)
 	}
 	return g

@@ -24,6 +24,31 @@ func TestErdosRenyiSaturates(t *testing.T) {
 	}
 }
 
+func TestErdosRenyiDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// n < 2 has no vertex pair: the edge request must be ignored rather
+	// than spin forever rejecting self-loops.
+	for _, n := range []int{-1, 0, 1} {
+		g := ErdosRenyi(n, 10, rng)
+		if g.M() != 0 {
+			t.Errorf("ErdosRenyi(%d, 10): M=%d, want 0", n, g.M())
+		}
+		if want := max(n, 0); g.N() != want {
+			t.Errorf("ErdosRenyi(%d, 10): N=%d, want %d", n, g.N(), want)
+		}
+	}
+	// No self-loops or duplicates survive in a dense draw.
+	g := ErdosRenyi(5, 10, rng)
+	if g.M() != 10 {
+		t.Errorf("G(5,10): M=%d, want 10 (complete K5)", g.M())
+	}
+	for v := 0; v < 5; v++ {
+		if g.HasEdge(v, v) {
+			t.Errorf("self-loop at %d", v)
+		}
+	}
+}
+
 func TestBarabasiAlbertProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := BarabasiAlbert(500, 3, 2, rng)

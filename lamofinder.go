@@ -15,6 +15,13 @@
 //	labeler := lamofinder.NewLabeler(corpus, lamofinder.DefaultLabelConfig())
 //	labeled := labeler.LabelAll(unique)
 //
+// The pipeline's heavy stages — occurrence-similarity scoring, the null
+// model, and subgraph enumeration — run on a worker pool sized by the
+// Parallelism field of LabelConfig and NullModel (0 = GOMAXPROCS). Results
+// are byte-identical at every worker count: work is chunked independently
+// of the pool size, randomized stages derive one RNG stream per chunk, and
+// merges are index-ordered.
+//
 // See the examples directory for runnable end-to-end programs and the
 // internal/experiments package for the paper's tables and figures.
 package lamofinder
@@ -81,7 +88,9 @@ type (
 	Motif = motif.Motif
 	// MineConfig controls the meso-scale miner.
 	MineConfig = motif.Config
-	// NullModel controls the randomized-network uniqueness test.
+	// NullModel controls the randomized-network uniqueness test; its
+	// Parallelism field caps the per-network workers (0 = GOMAXPROCS)
+	// without changing any score.
 	NullModel = motif.UniquenessConfig
 )
 
@@ -122,7 +131,9 @@ func ScoreZ(g *Graph, ms []*Motif, cfg NullModel) []ZScore { return motif.ScoreZ
 type (
 	// Labeler runs LaMoFinder over one annotated ontology branch.
 	Labeler = label.Labeler
-	// LabelConfig controls LaMoFinder.
+	// LabelConfig controls LaMoFinder; its Parallelism field caps the
+	// similarity/labeling workers (0 = GOMAXPROCS) without changing any
+	// output.
 	LabelConfig = label.Config
 	// LabeledMotif is a motif whose vertices carry GO label sets.
 	LabeledMotif = label.LabeledMotif
