@@ -5,13 +5,16 @@ GO ?= go
 
 # RACEPKGS are the concurrency-bearing packages: the par worker pool, the
 # sharded similarity cache and parallel labeler (internal/label), the
-# heap agglomerator driven by batch-parallel rows (internal/cluster), and
-# the chunked enumeration / per-network uniqueness fan-outs
-# (internal/motif) on top of the randnet generators.
+# heap agglomerator driven by batch-parallel rows (internal/cluster), the
+# chunked enumeration / per-network uniqueness fan-outs (internal/motif)
+# on top of the randnet generators, and the serving stack (request
+# handlers over the LRU cache, singleflight group, and atomic counters)
+# plus the artifact codec it loads.
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
-	./internal/motif/... ./internal/randnet/...
+	./internal/motif/... ./internal/randnet/... \
+	./internal/serve/... ./internal/artifact/...
 
-.PHONY: all build vet lamovet lint test race bench-smoke bench-json ci
+.PHONY: all build vet lamovet lint test race bench-smoke bench-json serve-smoke ci
 
 all: ci
 
@@ -45,4 +48,9 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchjson -time 3x
 
-ci: build lint test race bench-smoke
+# serve-smoke exercises the daemon end to end: lamod build, lamod serve,
+# lamoctl health/predict/metrics, SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: build lint test race bench-smoke serve-smoke

@@ -1,0 +1,223 @@
+// Command lamoctl is the client for a running lamod daemon, plus an offline
+// artifact inspector.
+//
+// Usage:
+//
+//	lamoctl predict -protein NAME [-protein NAME ...] [-k N] [-server URL]
+//	lamoctl motifs  [-server URL]
+//	lamoctl health  [-server URL]
+//	lamoctl metrics [-server URL]
+//	lamoctl inspect -artifact FILE
+//
+// Network subcommands print the daemon's JSON response verbatim, so output
+// is byte-deterministic whenever the daemon's is. inspect reads an artifact
+// file directly, without a server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"lamofinder/internal/artifact"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|inspect> [flags]")
+		return 2
+	}
+	switch args[0] {
+	case "predict":
+		return runPredict(args[1:], stdout, stderr)
+	case "motifs":
+		return runGet(args[1:], "/v1/motifs", stdout, stderr)
+	case "health":
+		return runGet(args[1:], "/v1/healthz", stdout, stderr)
+	case "metrics":
+		return runGet(args[1:], "/v1/metrics", stdout, stderr)
+	case "inspect":
+		return runInspect(args[1:], stdout, stderr)
+	default:
+		errf(stderr, "lamoctl: unknown subcommand %q\n", args[0])
+		return 2
+	}
+}
+
+// errf and errln write diagnostics to the (injected, testable) stderr; a
+// failed diagnostic write has nowhere to be reported.
+func errf(w io.Writer, format string, args ...any) { _, _ = fmt.Fprintf(w, format, args...) }
+func errln(w io.Writer, args ...any)               { _, _ = fmt.Fprintln(w, args...) }
+
+// client is the only HTTP client lamoctl uses: explicit, with a deadline,
+// never the process-global http.DefaultClient.
+func client(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
+// fetch GETs url and writes the response body through verbatim. Non-2xx
+// responses (the daemon's JSON error bodies) go to stderr with exit 1.
+func fetch(c *http.Client, u string, stdout, stderr io.Writer) int {
+	resp, err := c.Get(u)
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: read response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, body)
+		return 1
+	}
+	_, _ = stdout.Write(body)
+	return 0
+}
+
+type serverFlags struct {
+	server  *string
+	timeout *time.Duration
+}
+
+func addServerFlags(fs *flag.FlagSet) serverFlags {
+	return serverFlags{
+		server:  fs.String("server", "http://127.0.0.1:8077", "lamod base URL"),
+		timeout: fs.Duration("timeout", 10*time.Second, "request deadline"),
+	}
+}
+
+func runGet(args []string, path string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl "+path, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	return fetch(client(*sf.timeout), *sf.server+path, stdout, stderr)
+}
+
+// repeatedString collects repeated -protein flags in order.
+type repeatedString []string
+
+func (r *repeatedString) String() string { return fmt.Sprint([]string(*r)) }
+func (r *repeatedString) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func runPredict(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	var proteins repeatedString
+	fs.Var(&proteins, "protein", "protein name to score (repeatable)")
+	k := fs.Int("k", 0, "top-k functions to return (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl predict: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if len(proteins) == 0 {
+		errln(stderr, "lamoctl predict: at least one -protein is required")
+		fs.Usage()
+		return 2
+	}
+	if *k < 0 {
+		errln(stderr, "lamoctl predict: -k must be non-negative")
+		return 2
+	}
+	q := url.Values{}
+	for _, p := range proteins {
+		q.Add("protein", p)
+	}
+	if *k > 0 {
+		q.Set("k", fmt.Sprint(*k))
+	}
+	return fetch(client(*sf.timeout), *sf.server+"/v1/predict?"+q.Encode(), stdout, stderr)
+}
+
+// inspectSummary is lamoctl's offline view of an artifact file.
+type inspectSummary struct {
+	Artifact     string `json:"artifact"`
+	Dataset      string `json:"dataset"`
+	Note         string `json:"note,omitempty"`
+	Proteins     int    `json:"proteins"`
+	Interactions int    `json:"interactions"`
+	Functions    int    `json:"functions"`
+	Terms        int    `json:"terms"`
+	BorderTerms  int    `json:"border_terms"`
+	MinDirect    int    `json:"min_direct"`
+	Motifs       int    `json:"motifs"`
+	Coverage     int    `json:"coverage"`
+}
+
+func runInspect(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl inspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("artifact", "", "artifact file to inspect (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl inspect: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *path == "" {
+		errln(stderr, "lamoctl inspect: -artifact is required")
+		fs.Usage()
+		return 2
+	}
+	art, err := artifact.LoadFile(*path)
+	if err != nil {
+		errf(stderr, "lamoctl inspect: %v\n", err)
+		return 1
+	}
+	digest, err := art.Digest()
+	if err != nil {
+		errf(stderr, "lamoctl inspect: %v\n", err)
+		return 1
+	}
+	sum := inspectSummary{
+		Artifact:     digest,
+		Dataset:      art.Dataset,
+		Note:         art.Note,
+		Proteins:     art.Graph.N(),
+		Interactions: art.Graph.M(),
+		Functions:    art.NumFunctions,
+		Terms:        art.Ontology.NumTerms(),
+		BorderTerms:  len(art.Border),
+		MinDirect:    art.MinDirect,
+		Motifs:       len(art.Motifs),
+		Coverage:     art.NewScorer().Coverage(),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		errf(stderr, "lamoctl inspect: %v\n", err)
+		return 1
+	}
+	_, _ = stdout.Write(buf.Bytes())
+	return 0
+}

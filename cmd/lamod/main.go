@@ -1,0 +1,161 @@
+// Command lamod is the labeled-motif model daemon. `lamod build` runs the
+// expensive offline pipeline (synthetic MIPS benchmark -> motif mining ->
+// uniqueness filter -> LaMoFinder labeling) once and packages the result
+// into a checksummed artifact file; `lamod serve` loads such an artifact
+// and answers prediction queries over HTTP until SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	lamod build -out FILE [-quick] [-proteins N] [-edges M] [-seed S] [-note TEXT]
+//	lamod serve -artifact FILE [-addr HOST:PORT] [-parallelism N]
+//	            [-cache N] [-timeout D] [-drain D]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lamofinder/internal/artifact"
+	"lamofinder/internal/experiments"
+	"lamofinder/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lamod <build|serve> [flags]")
+		return 2
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:])
+	case "serve":
+		return runServe(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "lamod: unknown subcommand %q (want build or serve)\n", args[0])
+		return 2
+	}
+}
+
+func runBuild(args []string) int {
+	fs := flag.NewFlagSet("lamod build", flag.ContinueOnError)
+	out := fs.String("out", "", "artifact output path (required)")
+	quick := fs.Bool("quick", false, "reduced-scale preset")
+	proteins := fs.Int("proteins", 0, "override protein count (0 = preset)")
+	edges := fs.Int("edges", 0, "override interaction count (0 = preset)")
+	seed := fs.Int64("seed", 0, "override dataset seed (0 = preset)")
+	note := fs.String("note", "", "free-form note stored in the artifact")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lamod build: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "lamod build: -out is required")
+		fs.Usage()
+		return 2
+	}
+	cfg := experiments.DefaultFigure9Config()
+	if *quick {
+		cfg = experiments.QuickFigure9Config()
+	}
+	if *proteins < 0 || *edges < 0 {
+		fmt.Fprintln(os.Stderr, "lamod build: -proteins and -edges must be non-negative")
+		return 2
+	}
+	if *proteins > 0 {
+		cfg.MIPS.Proteins = *proteins
+	}
+	if *edges > 0 {
+		cfg.MIPS.Edges = *edges
+	}
+	if *seed != 0 {
+		cfg.MIPS.Seed = *seed
+	}
+
+	start := time.Now()
+	mined := experiments.MineLabeled(cfg)
+	m := mined.MIPS
+	names := make([]string, len(m.CategoryTerm))
+	for c, ct := range m.CategoryTerm {
+		names[c] = m.Ontology.ID(ct)
+	}
+	art, err := artifact.Build("synthetic-mips", *note, m.Task, names,
+		m.Corpus, m.Corpus.DirectCounts(), cfg.Label.MinDirect, mined.Labeled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
+		return 1
+	}
+	if err := art.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
+		return 1
+	}
+	digest, err := art.Digest()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("  artifact %s\n", digest)
+	fmt.Printf("  proteins=%d interactions=%d functions=%d\n",
+		art.Graph.N(), art.Graph.M(), art.NumFunctions)
+	fmt.Printf("  mined=%d unique=%d labeled=%d\n",
+		mined.MinedClasses, mined.UniqueMotifs, len(mined.Labeled))
+	fmt.Printf("  [%v]\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("lamod serve", flag.ContinueOnError)
+	path := fs.String("artifact", "", "artifact file to serve (required)")
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	parallelism := fs.Int("parallelism", 0, "scoring workers per batch (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "LRU entries (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lamod serve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "lamod serve: -artifact is required")
+		fs.Usage()
+		return 2
+	}
+	art, err := artifact.LoadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 1
+	}
+	s, err := serve.New(art, serve.Config{
+		Parallelism:    *parallelism,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving %s on %s (artifact %s)\n", *path, *addr, s.Digest())
+	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("shut down cleanly")
+	return 0
+}

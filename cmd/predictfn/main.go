@@ -1,54 +1,105 @@
 // Command predictfn compares the five protein-function prediction methods
 // (labeled motif, MRF, Chi-square, NC, PRODISTIN) under leave-one-out on
 // the synthetic MIPS-like benchmark, printing the Figure-9 precision/recall
-// table.
+// table. With -protein it instead scores one protein offline through the
+// same mined model the lamod daemon serves, so its output can be checked
+// byte-for-byte against /v1/predict.
 //
 // Usage:
 //
-//	predictfn [-proteins N] [-edges M] [-seed S] [-quick] [-noprodistin]
+//	predictfn [-proteins N] [-edges M] [-seed S] [-quick] [-noprodistin] [-gibbs]
+//	predictfn -protein NAME [-topk K] [dataset flags as above]
+//
+// Malformed flags or an invalid dataset configuration exit 2 with usage;
+// the tool never proceeds on a zero-value config.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"lamofinder/internal/experiments"
+	"lamofinder/internal/label"
+	"lamofinder/internal/predict"
 )
 
 func main() {
-	proteins := flag.Int("proteins", 0, "override protein count (0 = preset)")
-	edges := flag.Int("edges", 0, "override interaction count (0 = preset)")
-	seed := flag.Int64("seed", 0, "override dataset seed (0 = preset)")
-	quick := flag.Bool("quick", false, "reduced-scale preset")
-	noProdistin := flag.Bool("noprodistin", false, "skip PRODISTIN (O(n^3) tree)")
-	gibbs := flag.Bool("gibbs", false, "add the Gibbs-sampling MRF as a sixth method")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	opts, err := parseFlags(args, os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "predictfn: %v\n", err)
+		return 2
+	}
 
 	cfg := experiments.DefaultFigure9Config()
-	if *quick {
+	if opts.quick {
 		cfg = experiments.QuickFigure9Config()
 	}
-	if *proteins > 0 {
-		cfg.MIPS.Proteins = *proteins
+	if opts.proteins > 0 {
+		cfg.MIPS.Proteins = opts.proteins
 	}
-	if *edges > 0 {
-		cfg.MIPS.Edges = *edges
+	if opts.edges > 0 {
+		cfg.MIPS.Edges = opts.edges
 	}
-	if *seed != 0 {
-		cfg.MIPS.Seed = *seed
+	if opts.seed != 0 {
+		cfg.MIPS.Seed = opts.seed
 	}
-	if *noProdistin {
+	if opts.noProdistin {
 		cfg.IncludeProdistin = false
 	}
-	if *gibbs {
+	if opts.gibbs {
 		cfg.IncludeGibbs = true
 	}
+
 	start := time.Now()
-	if err := experiments.Figure9(cfg).WriteText(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "predictfn: %v\n", err)
-		os.Exit(1)
+	if opts.protein != "" {
+		if code := scoreProtein(cfg, opts.protein, opts.topk); code != 0 {
+			return code
+		}
+	} else {
+		if err := experiments.Figure9(cfg).WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "predictfn: %v\n", err)
+			return 1
+		}
 	}
 	fmt.Printf("[%v]\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// scoreProtein runs the front half of the Figure-9 pipeline (the same
+// mining and labeling `lamod build` packages into an artifact) and prints
+// the named protein's top-k functions: one "FC-term<TAB>score" line per
+// rank, with the score in Go's shortest round-trip form — the float text
+// encoding/json uses, so lines compare equal against the daemon's output.
+func scoreProtein(cfg experiments.Figure9Config, name string, topk int) int {
+	mined := experiments.MineLabeled(cfg)
+	m := mined.MIPS
+	net := m.Task.Network
+	p := -1
+	for v := 0; v < net.N(); v++ {
+		if net.Name(v) == name {
+			p = v
+			break
+		}
+	}
+	if p < 0 {
+		fmt.Fprintf(os.Stderr, "predictfn: protein %q is not in the dataset\n", name)
+		return 1
+	}
+	scorer := label.NewScorer(m.Task, mined.Labeled)
+	for _, rk := range predict.TopK(scorer.Scores(p), topk) {
+		fmt.Printf("%s\t%s\n", m.Ontology.ID(m.CategoryTerm[rk.Function]),
+			strconv.FormatFloat(rk.Score, 'g', -1, 64))
+	}
+	return 0
 }

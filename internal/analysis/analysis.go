@@ -20,6 +20,9 @@
 //   - errdrop: forbid silently discarding an error result outside tests.
 //   - nopanic: forbid panic in library packages unless the enclosing
 //     function's doc comment carries an "// invariant:" line.
+//   - nohttpglobals: forbid net/http's process-global mux and client
+//     (DefaultServeMux, DefaultClient, and the helpers that consume them)
+//     in the serving package and the command binaries.
 //
 // The suite is stdlib-only (go/ast, go/parser, go/token, go/types): the
 // repo stays dependency-free, so the driver ships its own package loader
@@ -89,6 +92,7 @@ func All() []*Analyzer {
 		FloatEq(),
 		ErrDrop(),
 		NoPanic(),
+		NoHTTPGlobals(),
 	}
 }
 

@@ -21,6 +21,7 @@ var fixtureCases = []struct {
 	{"floateq", ModulePath + "/internal/eval"},
 	{"errdrop", ModulePath + "/cmd/gostats"},
 	{"nopanic", ModulePath + "/internal/graph"},
+	{"nohttpglobals", ModulePath + "/internal/serve"},
 }
 
 // TestFixtures runs each analyzer over its testdata package and asserts
@@ -76,6 +77,7 @@ func TestScopedAnalyzersSilentOutsideScope(t *testing.T) {
 		{"mapiter", ModulePath + "/internal/motif"},
 		{"floateq", ModulePath + "/internal/graph"},
 		{"nopanic", ModulePath + "/cmd/motiffind"},
+		{"nohttpglobals", ModulePath + "/internal/ontology"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -123,7 +125,7 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 func TestSelect(t *testing.T) {
-	if as, err := Select(""); err != nil || len(as) != 5 {
+	if as, err := Select(""); err != nil || len(as) != 6 {
 		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(as), err)
 	}
 	as, err := Select("floateq, nopanic")

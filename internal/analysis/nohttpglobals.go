@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// httpGlobalVars are net/http's process-global mutable singletons. A daemon
+// registering routes on DefaultServeMux or issuing requests through
+// DefaultClient couples itself to every other package in the process
+// (including test harnesses and future imports that also touch the
+// globals), and DefaultClient additionally has no timeout.
+var httpGlobalVars = map[string]string{
+	"DefaultServeMux":  "route on an explicitly constructed http.NewServeMux",
+	"DefaultClient":    "construct an http.Client with an explicit Timeout",
+	"DefaultTransport": "construct an http.Transport (or client) explicitly",
+}
+
+// httpGlobalFuncs are the net/http package-level helpers that silently
+// consume one of the globals above.
+var httpGlobalFuncs = map[string]string{
+	"Handle":            "it registers on DefaultServeMux",
+	"HandleFunc":        "it registers on DefaultServeMux",
+	"ListenAndServe":    "it serves DefaultServeMux when handler is nil",
+	"ListenAndServeTLS": "it serves DefaultServeMux when handler is nil",
+	"Get":               "it uses DefaultClient, which has no timeout",
+	"Head":              "it uses DefaultClient, which has no timeout",
+	"Post":              "it uses DefaultClient, which has no timeout",
+	"PostForm":          "it uses DefaultClient, which has no timeout",
+}
+
+// NoHTTPGlobals returns the analyzer forbidding net/http's process-global
+// mux/client state in the serving package and the command binaries.
+func NoHTTPGlobals() *Analyzer {
+	return &Analyzer{
+		Name: "nohttpglobals",
+		Doc:  "forbid http.DefaultServeMux/DefaultClient (and helpers using them) in internal/serve and cmd/",
+		Run:  runNoHTTPGlobals,
+	}
+}
+
+func runNoHTTPGlobals(pass *Pass) {
+	rel, ok := relPath(pass.Path)
+	if !ok {
+		return
+	}
+	if rel != "internal/serve" && rel != "cmd" && !strings.HasPrefix(rel, "cmd/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch obj := pass.Info.Uses[sel.Sel].(type) {
+			case *types.Var:
+				if fromNetHTTP(obj) {
+					if fix, bad := httpGlobalVars[obj.Name()]; bad {
+						pass.Reportf(sel.Pos(),
+							"http.%s is process-global mutable state; %s", obj.Name(), fix)
+					}
+				}
+			case *types.Func:
+				// Only package-level functions: methods on an explicitly
+				// constructed client or server are the sanctioned pattern.
+				if fromNetHTTP(obj) && obj.Type().(*types.Signature).Recv() == nil {
+					if why, bad := httpGlobalFuncs[obj.Name()]; bad {
+						pass.Reportf(sel.Pos(),
+							"http.%s touches process-global state (%s); use an explicit ServeMux/Client", obj.Name(), why)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func fromNetHTTP(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

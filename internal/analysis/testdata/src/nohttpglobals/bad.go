@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"io"
+	"net/http"
+)
+
+// BadServer wires the daemon into the process-global mux: any other
+// package (or test) that also registers on DefaultServeMux collides with
+// these routes, and http.ListenAndServe with a nil handler serves that
+// shared mux.
+func BadServer() error {
+	http.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {}) // want
+	http.Handle("/v1/predict", http.NotFoundHandler())                              // want
+	mux := http.DefaultServeMux                                                     // want
+	_ = mux
+	return http.ListenAndServe(":8080", nil) // want
+}
+
+// BadClient issues requests through the shared zero-timeout client: a hung
+// server blocks the caller forever, and RoundTripper tweaks leak to every
+// other user of DefaultClient in the process.
+func BadClient(url string) error {
+	resp, err := http.Get(url) // want
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
+	if _, err := http.Post(url, "text/plain", nil); err != nil { // want
+		return err
+	}
+	http.DefaultClient.Timeout = 0 // want
+	t := http.DefaultTransport     // want
+	_ = t
+	return nil
+}

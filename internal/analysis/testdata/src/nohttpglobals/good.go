@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// GoodServer builds its own mux and server: routes are private to this
+// instance, and the listen loop serves exactly this handler.
+func GoodServer() error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	srv := &http.Server{Addr: ":8080", Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// GoodClient constructs an explicit client with a deadline; its Get/Post
+// are methods on that instance, not the package-level helpers.
+func GoodClient(url string) error {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

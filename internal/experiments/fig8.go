@@ -49,16 +49,7 @@ func Figure8() *Figure8Result {
 			task.Functions[p] = append(task.Functions[p], int(t))
 		}
 	}
-	inputs := make([]predict.MotifInput, 0, len(motifs))
-	for _, lm := range motifs {
-		inputs = append(inputs, predict.MotifInput{
-			Size:        lm.Size(),
-			Occurrences: lm.Occurrences,
-			Frequency:   lm.Frequency,
-			Uniqueness:  lm.Uniqueness,
-		})
-	}
-	scorer := predict.NewLabeledMotif(task, inputs)
+	scorer := label.NewScorer(task, motifs)
 
 	// Query: protein p1 (vertex 0 of occurrence o1). Scores exclude p1's
 	// own annotations by construction.

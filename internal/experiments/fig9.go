@@ -87,12 +87,22 @@ type Figure9Result struct {
 	Proteins, Interactions, Annotated         int
 }
 
-// Figure9 regenerates the paper's prediction comparison on the synthetic
-// MIPS benchmark: mine motifs, keep the over-represented ones, label them
-// with LaMoFinder against the functional-catalogue GO corpus, and compare
-// the labeled-motif predictor against NC, Chi2, PRODISTIN and MRF under
-// leave-one-out.
-func Figure9(cfg Figure9Config) *Figure9Result {
+// Mined bundles the output of the dataset→mine→uniqueness→label front half
+// of the Figure-9 pipeline, shared by the offline experiment and the lamod
+// artifact builder.
+type Mined struct {
+	MIPS    *dataset.MIPS
+	Labeled []*label.LabeledMotif
+	// MinedClasses and UniqueMotifs are pipeline statistics: isomorphism
+	// classes found by the miner and classes surviving the uniqueness filter.
+	MinedClasses, UniqueMotifs int
+}
+
+// MineLabeled builds the synthetic MIPS benchmark, mines its motifs, keeps
+// the over-represented ones, and labels them with LaMoFinder against the
+// functional-catalogue GO corpus — everything Figure 9 does before scoring,
+// and everything `lamod build` packages into a serving artifact.
+func MineLabeled(cfg Figure9Config) *Mined {
 	m := dataset.NewMIPS(cfg.MIPS)
 	net := m.Task.Network
 
@@ -102,17 +112,24 @@ func Figure9(cfg Figure9Config) *Figure9Result {
 
 	labeler := label.NewLabeler(m.Corpus, cfg.Label)
 	labeled := labeler.LabelAll(unique)
-
-	inputs := make([]predict.MotifInput, 0, len(labeled))
-	for _, lm := range labeled {
-		inputs = append(inputs, predict.MotifInput{
-			Size:        lm.Size(),
-			Occurrences: lm.Occurrences,
-			Frequency:   lm.Frequency,
-			Uniqueness:  lm.Uniqueness,
-		})
+	return &Mined{
+		MIPS:         m,
+		Labeled:      labeled,
+		MinedClasses: len(mined),
+		UniqueMotifs: len(unique),
 	}
-	lmp := predict.NewLabeledMotif(m.Task, inputs)
+}
+
+// Figure9 regenerates the paper's prediction comparison on the synthetic
+// MIPS benchmark: mine motifs, keep the over-represented ones, label them
+// with LaMoFinder against the functional-catalogue GO corpus, and compare
+// the labeled-motif predictor against NC, Chi2, PRODISTIN and MRF under
+// leave-one-out.
+func Figure9(cfg Figure9Config) *Figure9Result {
+	mined := MineLabeled(cfg)
+	m := mined.MIPS
+	net := m.Task.Network
+	lmp := label.NewScorer(m.Task, mined.Labeled)
 	scorers := []predict.Scorer{
 		lmp,
 		predict.NewMRF(m.Task),
@@ -149,9 +166,9 @@ func Figure9(cfg Figure9Config) *Figure9Result {
 	res := &Figure9Result{
 		Curves:        curves,
 		MacroAUC:      macro,
-		MinedClasses:  len(mined),
-		UniqueMotifs:  len(unique),
-		LabeledMotifs: len(labeled),
+		MinedClasses:  mined.MinedClasses,
+		UniqueMotifs:  mined.UniqueMotifs,
+		LabeledMotifs: len(mined.Labeled),
 		MotifCoverage: lmp.Coverage(),
 		Proteins:      net.N(),
 		Interactions:  net.M(),

@@ -1,0 +1,37 @@
+package predict
+
+import "sort"
+
+// Ranked is one (function, score) prediction from a scorer.
+type Ranked struct {
+	Function int
+	Score    float64
+}
+
+// TopK ranks a scorer's output vector: functions sorted by descending
+// score, ties broken toward the smaller function index, truncated to the k
+// best (k <= 0 means no truncation). Zero- and negative-score functions are
+// dropped — a scorer that found no evidence predicts nothing. The ordering
+// is a pure function of the score vector, so every consumer (the serving
+// daemon, lamoctl, predictfn's offline mode) renders identical rankings.
+func TopK(scores []float64, k int) []Ranked {
+	ranked := make([]Ranked, 0, len(scores))
+	for f, s := range scores {
+		if s > 0 {
+			ranked = append(ranked, Ranked{Function: f, Score: s})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score > ranked[j].Score {
+			return true
+		}
+		if ranked[i].Score < ranked[j].Score {
+			return false
+		}
+		return ranked[i].Function < ranked[j].Function
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}

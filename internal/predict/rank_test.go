@@ -1,0 +1,21 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.2, 0, 0.9, 0.2, -0.1, 0.5}
+	got := TopK(scores, 0)
+	want := []Ranked{{2, 0.9}, {5, 0.5}, {0, 0.2}, {3, 0.2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK(k=0) = %v, want %v", got, want)
+	}
+	if got := TopK(scores, 2); !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("TopK(k=2) = %v, want %v", got, want[:2])
+	}
+	if got := TopK([]float64{0, 0}, 3); len(got) != 0 {
+		t.Fatalf("TopK over zero scores = %v, want empty", got)
+	}
+}

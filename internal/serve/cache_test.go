@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // touch a: now b is oldest
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestLRUCacheUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("a", 2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+	if v, _ := c.get("a"); v.(int) != 2 {
+		t.Fatalf("a = %v", v)
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	const callers = 16
+	var computed int
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	shares := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.do("key", func() (any, error) {
+				computed++ // safe: only one caller runs fn while the rest wait
+				<-gate
+				return "result", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], shares[i] = v, shared
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if computed == 0 {
+		t.Fatal("fn never ran")
+	}
+	sharedCount := 0
+	for i := range vals {
+		if vals[i] != "result" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		if shares[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount+computed != callers {
+		t.Fatalf("computed %d + shared %d != %d callers", computed, sharedCount, callers)
+	}
+}
+
+func TestFlightGroupErrorShared(t *testing.T) {
+	g := newFlightGroup()
+	want := errors.New("boom")
+	_, err, _ := g.do("k", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	// Key is released after completion: a later call recomputes.
+	v, err, shared := g.do("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 || shared {
+		t.Fatalf("recompute: %v, %v, %v", v, err, shared)
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls with the same key: the first
+// caller computes, later callers block and share the result. A minimal
+// stdlib-only stand-in for golang.org/x/sync/singleflight, sufficient
+// because the daemon's compute functions never panic.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller received another caller's in-flight result.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,41 @@
+package serve
+
+import "sync/atomic"
+
+// metrics holds the daemon's monotonic counters. Everything is atomic so
+// handlers update them without locks; Snapshot is a point-in-time read, not
+// a consistent cut, which is all a metrics endpoint needs.
+type metrics struct {
+	requests      atomic.Int64 // all HTTP requests
+	predictions   atomic.Int64 // proteins scored (cache hits included)
+	errors        atomic.Int64 // 4xx/5xx responses
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	flightShared  atomic.Int64 // queries that piggybacked on an in-flight twin
+	latencyMicros atomic.Int64 // summed request wall time
+}
+
+// MetricsSnapshot is the JSON body of /v1/metrics.
+type MetricsSnapshot struct {
+	Requests      int64 `json:"requests"`
+	Predictions   int64 `json:"predictions"`
+	Errors        int64 `json:"errors"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	FlightShared  int64 `json:"singleflight_shared"`
+	LatencyMicros int64 `json:"latency_micros_total"`
+	CacheEntries  int   `json:"cache_entries"`
+}
+
+func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:      m.requests.Load(),
+		Predictions:   m.predictions.Load(),
+		Errors:        m.errors.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		FlightShared:  m.flightShared.Load(),
+		LatencyMicros: m.latencyMicros.Load(),
+		CacheEntries:  cacheEntries,
+	}
+}

@@ -1,0 +1,412 @@
+// Package serve implements the lamod prediction daemon: an HTTP JSON API
+// over one read-only, checksummed model artifact. The expensive pipeline
+// (mining, uniqueness, labeling) happened at `lamod build` time; a request
+// only runs the cheap LMS aggregation (Eq. 5), so one process can serve
+// many queries against one mined model.
+//
+// Endpoints (all under /v1):
+//
+//	GET  /v1/healthz — liveness plus artifact identity and model counts
+//	GET  /v1/predict?protein=NAME&k=N — rank functions for one or more proteins
+//	POST /v1/predict {"proteins": ["A", ...], "k": N} — batch form
+//	GET  /v1/motifs  — the labeled motifs backing the model
+//	GET  /v1/metrics — request/latency/cache counters
+//
+// Responses are byte-deterministic: the same artifact and query produce
+// identical bytes at any Parallelism setting, across runs and across
+// processes, because scores are pure functions of the artifact and the
+// ranking (predict.TopK) and JSON field order are fixed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lamofinder/internal/artifact"
+	"lamofinder/internal/par"
+	"lamofinder/internal/predict"
+)
+
+// Config tunes the daemon. The zero value of any field falls back to the
+// default; none of the knobs change response bytes.
+type Config struct {
+	// Parallelism caps the worker goroutines scoring a batch request
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// CacheSize bounds the LRU of ranked score vectors, in entries.
+	CacheSize int
+	// RequestTimeout is the per-request deadline enforced server-side.
+	RequestTimeout time.Duration
+	// MaxBatch caps the proteins accepted in one predict request.
+	MaxBatch int
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{
+		CacheSize:      1024,
+		RequestTimeout: 5 * time.Second,
+		MaxBatch:       64,
+	}
+}
+
+// Server answers prediction queries against one loaded artifact.
+type Server struct {
+	art    *artifact.Artifact
+	scorer *predict.LabeledMotif
+	byName map[string]int
+	digest string
+	cfg    Config
+	cache  *lruCache
+	flight *flightGroup
+	met    metrics
+}
+
+// New builds a server over a loaded artifact. The artifact is shared
+// read-only across request goroutines and must not be mutated afterwards.
+func New(art *artifact.Artifact, cfg Config) (*Server, error) {
+	def := DefaultConfig()
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = def.CacheSize
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = def.RequestTimeout
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = def.MaxBatch
+	}
+	digest, err := art.Digest()
+	if err != nil {
+		return nil, fmt.Errorf("serve: digest artifact: %w", err)
+	}
+	byName := make(map[string]int, art.Graph.N())
+	for v := art.Graph.N() - 1; v >= 0; v-- {
+		// Reverse order so the lowest index wins a (pathological) name clash.
+		byName[art.Graph.Name(v)] = v
+	}
+	return &Server{
+		art:    art,
+		scorer: art.NewScorer(),
+		byName: byName,
+		digest: digest,
+		cfg:    cfg,
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+	}, nil
+}
+
+// Digest returns the served artifact's identity.
+func (s *Server) Digest() string { return s.digest }
+
+// Metrics returns a point-in-time counter snapshot.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()) }
+
+// Handler returns the daemon's HTTP handler: its own ServeMux (never the
+// process-global one), instrumented, with the per-request deadline applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/motifs", s.handleMotifs)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	deadlined := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
+	return s.instrument(deadlined)
+}
+
+// ListenAndServe runs the daemon on addr until ctx is canceled (the caller
+// wires SIGTERM/SIGINT into ctx), then shuts down gracefully: the listener
+// closes immediately, in-flight requests drain for up to drain, and only
+// then does the call return.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	return s.Serve(ctx, l, drain)
+}
+
+// Serve is ListenAndServe over an existing listener, which it takes
+// ownership of.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := hs.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// statusRecorder captures the response code for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.met.requests.Add(1)
+		if rec.status >= 400 {
+			s.met.errors.Add(1)
+		}
+		s.met.latencyMicros.Add(time.Since(start).Microseconds())
+	})
+}
+
+// Prediction is one ranked function for one protein.
+type Prediction struct {
+	Function int     `json:"function"`
+	Name     string  `json:"name"`
+	Score    float64 `json:"score"`
+}
+
+// ProteinResult is the ranking for one queried protein.
+type ProteinResult struct {
+	Protein     string       `json:"protein"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// PredictResponse is the body of /v1/predict.
+type PredictResponse struct {
+	Artifact string          `json:"artifact"`
+	K        int             `json:"k"`
+	Results  []ProteinResult `json:"results"`
+}
+
+type predictRequest struct {
+	Proteins []string `json:"proteins"`
+	K        int      `json:"k"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Proteins = q["protein"]
+		if ks := q.Get("k"); ks != "" {
+			k, err := strconv.Atoi(ks)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "k must be an integer, got %q", ks)
+				return
+			}
+			req.K = k
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if len(req.Proteins) == 0 {
+		s.writeError(w, http.StatusBadRequest, "no proteins named (use ?protein=NAME or a JSON body)")
+		return
+	}
+	if len(req.Proteins) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "%d proteins exceeds the batch cap of %d", len(req.Proteins), s.cfg.MaxBatch)
+		return
+	}
+	if req.K < 0 {
+		s.writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", req.K)
+		return
+	}
+	if req.K == 0 || req.K > s.art.NumFunctions {
+		req.K = s.art.NumFunctions
+	}
+	ids := make([]int, len(req.Proteins))
+	for i, name := range req.Proteins {
+		p, ok := s.resolve(name)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "unknown protein %q", name)
+			return
+		}
+		ids[i] = p
+	}
+
+	// Score the batch on the worker pool; each slot is written only by its
+	// own index, so response order always matches request order.
+	results := make([]ProteinResult, len(ids))
+	par.Do(len(ids), par.Workers(s.cfg.Parallelism), func(i int) {
+		results[i] = ProteinResult{
+			Protein:     req.Proteins[i],
+			Predictions: s.scoreOne(ids[i], req.K),
+		}
+	})
+	s.met.predictions.Add(int64(len(ids)))
+	s.writeJSON(w, http.StatusOK, PredictResponse{Artifact: s.digest, K: req.K, Results: results})
+}
+
+// resolve maps a protein name (or a bare vertex index) to its vertex id.
+func (s *Server) resolve(name string) (int, bool) {
+	if p, ok := s.byName[name]; ok {
+		return p, true
+	}
+	if p, err := strconv.Atoi(name); err == nil && p >= 0 && p < s.art.Graph.N() {
+		return p, true
+	}
+	return 0, false
+}
+
+// scoreOne returns protein p's top-k ranking, consulting the LRU cache and
+// collapsing concurrent identical queries through the flight group. The
+// cache key carries the artifact digest, so a process serving a different
+// model can never replay stale entries.
+func (s *Server) scoreOne(p, k int) []Prediction {
+	key := s.digest + "|" + strconv.Itoa(p) + "|" + strconv.Itoa(k)
+	if v, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		return v.([]Prediction)
+	}
+	s.met.cacheMisses.Add(1)
+	v, _, shared := s.flight.do(key, func() (any, error) {
+		ranked := predict.TopK(s.scorer.Scores(p), k)
+		preds := make([]Prediction, len(ranked))
+		for i, rk := range ranked {
+			preds[i] = Prediction{
+				Function: rk.Function,
+				Name:     s.art.FunctionNames[rk.Function],
+				Score:    rk.Score,
+			}
+		}
+		s.cache.put(key, preds)
+		return preds, nil
+	})
+	if shared {
+		s.met.flightShared.Add(1)
+	}
+	return v.([]Prediction)
+}
+
+// healthzResponse is the body of /v1/healthz.
+type healthzResponse struct {
+	Status       string `json:"status"`
+	Artifact     string `json:"artifact"`
+	Dataset      string `json:"dataset"`
+	Proteins     int    `json:"proteins"`
+	Interactions int    `json:"interactions"`
+	Functions    int    `json:"functions"`
+	Motifs       int    `json:"motifs"`
+	// Coverage counts the proteins inside at least one labeled motif — the
+	// population the labeled-motif method can score at all.
+	Coverage int `json:"coverage"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:       "ok",
+		Artifact:     s.digest,
+		Dataset:      s.art.Dataset,
+		Proteins:     s.art.Graph.N(),
+		Interactions: s.art.Graph.M(),
+		Functions:    s.art.NumFunctions,
+		Motifs:       len(s.art.Motifs),
+		Coverage:     s.scorer.Coverage(),
+	})
+}
+
+// MotifSummary describes one labeled motif without its occurrence list.
+type MotifSummary struct {
+	Index       int        `json:"index"`
+	Size        int        `json:"size"`
+	Frequency   int        `json:"frequency"`
+	Uniqueness  float64    `json:"uniqueness"`
+	Occurrences int        `json:"occurrences"`
+	Labels      [][]string `json:"labels"`
+}
+
+// MotifsResponse is the body of /v1/motifs.
+type MotifsResponse struct {
+	Artifact string         `json:"artifact"`
+	Motifs   []MotifSummary `json:"motifs"`
+}
+
+func (s *Server) handleMotifs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	out := MotifsResponse{Artifact: s.digest, Motifs: make([]MotifSummary, len(s.art.Motifs))}
+	for i, lm := range s.art.Motifs {
+		ms := MotifSummary{
+			Index:       i,
+			Size:        lm.Size(),
+			Frequency:   lm.Frequency,
+			Uniqueness:  lm.Uniqueness,
+			Occurrences: len(lm.Occurrences),
+			Labels:      make([][]string, lm.Size()),
+		}
+		for v, ts := range lm.Labels {
+			for _, t := range ts {
+				ms.Labels[v] = append(ms.Labels[v], s.art.Ontology.ID(int(t)))
+			}
+		}
+		out.Motifs[i] = ms
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Marshal over plain structs cannot fail; guard anyway.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b = append(b, '\n')
+	// The client is gone if this write fails; there is nowhere to report.
+	_, _ = w.Write(b)
+}

@@ -221,16 +221,7 @@ func NewTask(g *Graph, numFunctions int) *Task { return predict.NewTask(g, numFu
 // NewLabeledMotifScorer builds the paper's labeled-motif predictor
 // (Eqs. 4-5) from LaMoFinder output.
 func NewLabeledMotifScorer(t *Task, motifs []*LabeledMotif) Scorer {
-	inputs := make([]predict.MotifInput, 0, len(motifs))
-	for _, lm := range motifs {
-		inputs = append(inputs, predict.MotifInput{
-			Size:        lm.Size(),
-			Occurrences: lm.Occurrences,
-			Frequency:   lm.Frequency,
-			Uniqueness:  lm.Uniqueness,
-		})
-	}
-	return predict.NewLabeledMotif(t, inputs)
+	return label.NewScorer(t, motifs)
 }
 
 // Baseline scorers from the paper's Figure 9.

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end gate for the lamod daemon: build a quick
+# artifact, serve it, hit /v1/healthz and /v1/predict through lamoctl, and
+# verify the process drains cleanly on SIGTERM. Run from anywhere inside
+# the repo; CI runs it after the unit suites.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+addr="127.0.0.1:${SERVE_SMOKE_PORT:-8077}"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build binaries"
+go build -o "$workdir/lamod" ./cmd/lamod
+go build -o "$workdir/lamoctl" ./cmd/lamoctl
+
+echo "== build artifact"
+"$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "serve smoke"
+"$workdir/lamoctl" inspect -artifact "$workdir/model.lamoart"
+
+echo "== serve on $addr"
+"$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$addr" \
+    >"$workdir/lamod.log" 2>&1 &
+pid=$!
+
+up=0
+for _ in $(seq 1 100); do
+    if "$workdir/lamoctl" health -server "http://$addr" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$up" != 1 ]]; then
+    echo "daemon never became healthy" >&2
+    cat "$workdir/lamod.log" >&2
+    exit 1
+fi
+
+echo "== healthz"
+"$workdir/lamoctl" health -server "http://$addr" | tee "$workdir/healthz.json"
+grep -q '"status":"ok"' "$workdir/healthz.json"
+
+echo "== predict"
+"$workdir/lamoctl" predict -server "http://$addr" -protein M0000 -k 5 \
+    | tee "$workdir/predict.json"
+grep -q '"protein":"M0000"' "$workdir/predict.json"
+
+# The same query twice must return identical bytes (cache hit or not).
+"$workdir/lamoctl" predict -server "http://$addr" -protein M0000 -k 5 \
+    >"$workdir/predict2.json"
+cmp "$workdir/predict.json" "$workdir/predict2.json"
+
+echo "== metrics"
+"$workdir/lamoctl" metrics -server "http://$addr"
+
+echo "== graceful shutdown"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "daemon ignored SIGTERM" >&2
+    exit 1
+fi
+wait "$pid" || { echo "daemon exited non-zero" >&2; cat "$workdir/lamod.log" >&2; exit 1; }
+pid=""
+grep -q "shut down cleanly" "$workdir/lamod.log"
+
+echo "serve smoke OK"
