@@ -14,7 +14,10 @@ RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/motif/... ./internal/randnet/... \
 	./internal/serve/... ./internal/artifact/...
 
-.PHONY: all build vet lamovet lint test race bench-smoke bench-json serve-smoke ci
+.PHONY: all build vet lamovet lint test race bench-smoke bench-json serve-smoke load-smoke ci
+
+# The dated trajectory snapshot bench-json writes (and lamoload merges into).
+BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
 
 all: ci
 
@@ -44,13 +47,22 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # bench-json records a dated benchmark trajectory point (BENCH_<date>.json)
-# for the before/after record in EXPERIMENTS.md.
+# for the before/after record in EXPERIMENTS.md: every package's
+# microbenchmarks via cmd/benchjson, then serve latency percentiles merged
+# in by a fixed-seed cmd/lamoload run against a live daemon.
 bench-json:
-	$(GO) run ./cmd/benchjson -time 3x
+	$(GO) run ./cmd/benchjson -time 3x -pkg ./... -out $(BENCHFILE)
+	LAMOLOAD_MERGE_INTO=$(BENCHFILE) ./scripts/lamoload_smoke.sh
 
 # serve-smoke exercises the daemon end to end: lamod build, lamod serve,
 # lamoctl health/predict/metrics, SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: build lint test race bench-smoke serve-smoke
+# load-smoke exercises the serve hot path end to end: indexed build,
+# fixed-seed lamoload in both loop modes, index-hit metrics, and the
+# 0 allocs/op budget on the predict handler.
+load-smoke:
+	./scripts/lamoload_smoke.sh
+
+ci: build lint test race bench-smoke serve-smoke load-smoke

@@ -2,11 +2,14 @@
 // `go test -bench -benchmem` (or parses an existing benchmark log) and
 // writes the results as a dated JSON snapshot, so successive optimization
 // PRs can commit comparable before/after numbers (see EXPERIMENTS.md).
+// The snapshot schema lives in internal/benchfmt, shared with cmd/lamoload
+// so load-test latency lands in the same trajectory files.
 //
 // Usage:
 //
 //	benchjson                          # run all benchmarks, write BENCH_<date>.json
 //	benchjson -bench Figure6 -time 3x  # subset, fixed iteration count
+//	benchjson -pkg ./...               # every package's benchmarks
 //	benchjson -input bench.txt         # parse a saved `go test -bench` log
 //	benchjson -out numbers.json        # explicit output path
 //
@@ -14,46 +17,22 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"runtime"
 	"strconv"
 	"strings"
-	"time"
+
+	"lamofinder/internal/benchfmt"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name       string  `json:"name"`
-	Procs      int     `json:"procs"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
-}
-
-// Snapshot is the dated trajectory point benchjson writes.
-type Snapshot struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Command    string   `json:"command,omitempty"`
-	Results    []Result `json:"results"`
-}
 
 func main() {
 	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("time", "", "go test -benchtime value (e.g. 3x, 2s); empty = default")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	input := flag.String("input", "", "parse this saved benchmark log instead of running go test")
 	out := flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
 	flag.Parse()
@@ -92,7 +71,7 @@ func main() {
 		r = io.TeeReader(pipe, os.Stderr)
 	}
 
-	results, err := parseBench(r)
+	results, err := benchfmt.ParseBench(r)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,82 +84,17 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found"))
 	}
 
-	snap := Snapshot{
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Command:    command,
-		Results:    results,
-	}
+	snap := benchfmt.NewSnapshot(command, results)
 	path := *out
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"
 	}
-	data, err := json.MarshalIndent(&snap, "", "  ")
-	if err != nil {
+	if err := snap.WriteFile(path); err != nil {
 		fatal(err)
 	}
-	data = append(data, '\n')
-	if path == "-" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			fatal(err)
-		}
-		return
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), path)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), path)
-}
-
-// parseBench extracts Benchmark lines from `go test -bench` output:
-//
-//	BenchmarkName-8   100   123456 ns/op   789 B/op   12 allocs/op
-func parseBench(r io.Reader) ([]Result, error) {
-	var out []Result
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[3] != "ns/op" {
-			continue
-		}
-		res := Result{Procs: 1}
-		res.Name = fields[0]
-		if i := strings.LastIndex(res.Name, "-"); i > 0 {
-			if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
-				res.Procs = p
-				res.Name = res.Name[:i]
-			}
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		res.Iterations = iters
-		ns, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			continue
-		}
-		res.NsPerOp = ns
-		for i := 3; i+1 < len(fields); i++ {
-			switch fields[i+1] {
-			case "B/op":
-				res.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
-			case "allocs/op":
-				res.AllocsOp, _ = strconv.ParseInt(fields[i], 10, 64)
-			}
-		}
-		out = append(out, res)
-	}
-	return out, sc.Err()
 }
 
 func fatal(err error) {

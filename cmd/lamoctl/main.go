@@ -160,6 +160,8 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 // inspectSummary is lamoctl's offline view of an artifact file.
 type inspectSummary struct {
 	Artifact     string `json:"artifact"`
+	Format       int    `json:"format"`
+	Indexed      bool   `json:"indexed"`
 	Dataset      string `json:"dataset"`
 	Note         string `json:"note,omitempty"`
 	Proteins     int    `json:"proteins"`
@@ -198,8 +200,14 @@ func runInspect(args []string, stdout, stderr io.Writer) int {
 		errf(stderr, "lamoctl inspect: %v\n", err)
 		return 1
 	}
+	format := artifact.Version1
+	if art.Index != nil {
+		format = artifact.Version
+	}
 	sum := inspectSummary{
 		Artifact:     digest,
+		Format:       format,
+		Indexed:      art.Index != nil,
 		Dataset:      art.Dataset,
 		Note:         art.Note,
 		Proteins:     art.Graph.N(),

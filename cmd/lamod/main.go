@@ -7,8 +7,14 @@
 // Usage:
 //
 //	lamod build -out FILE [-quick] [-proteins N] [-edges M] [-seed S] [-note TEXT]
+//	            [-noindex] [-index-parallelism N]
 //	lamod serve -artifact FILE [-addr HOST:PORT] [-parallelism N]
-//	            [-cache N] [-timeout D] [-drain D]
+//	            [-cache N] [-timeout D] [-drain D] [-pprof]
+//
+// build computes the dense score index by default, so the daemon answers
+// /v1/predict straight from precomputed rankings (format v2); -noindex
+// writes the smaller v1 artifact and the daemon scores on demand instead.
+// Either artifact serves byte-identical responses.
 package main
 
 import (
@@ -53,6 +59,8 @@ func runBuild(args []string) int {
 	edges := fs.Int("edges", 0, "override interaction count (0 = preset)")
 	seed := fs.Int64("seed", 0, "override dataset seed (0 = preset)")
 	note := fs.String("note", "", "free-form note stored in the artifact")
+	noindex := fs.Bool("noindex", false, "skip the score index: smaller v1 artifact, on-demand serving")
+	indexWorkers := fs.Int("index-parallelism", 0, "workers building the score index (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +104,9 @@ func runBuild(args []string) int {
 		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 		return 1
 	}
+	if !*noindex {
+		art.BuildIndex(*indexWorkers)
+	}
 	if err := art.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 		return 1
@@ -105,8 +116,12 @@ func runBuild(args []string) int {
 		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 		return 1
 	}
+	indexed := "indexed (format v2)"
+	if art.Index == nil {
+		indexed = "unindexed (format v1)"
+	}
 	fmt.Printf("wrote %s\n", *out)
-	fmt.Printf("  artifact %s\n", digest)
+	fmt.Printf("  artifact %s %s\n", digest, indexed)
 	fmt.Printf("  proteins=%d interactions=%d functions=%d\n",
 		art.Graph.N(), art.Graph.M(), art.NumFunctions)
 	fmt.Printf("  mined=%d unique=%d labeled=%d\n",
@@ -123,6 +138,7 @@ func runServe(args []string) int {
 	cacheSize := fs.Int("cache", 0, "LRU entries (0 = default)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	enablePprof := fs.Bool("pprof", false, "expose /debug/pprof/ (stacks and heap contents; opt-in only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -144,6 +160,7 @@ func runServe(args []string) int {
 		Parallelism:    *parallelism,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
+		EnablePprof:    *enablePprof,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
@@ -151,7 +168,11 @@ func runServe(args []string) int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("serving %s on %s (artifact %s)\n", *path, *addr, s.Digest())
+	mode := "index"
+	if !s.Indexed() {
+		mode = "on-demand"
+	}
+	fmt.Printf("serving %s on %s (artifact %s, %s scoring)\n", *path, *addr, s.Digest(), mode)
 	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
 		return 1

@@ -1,0 +1,340 @@
+// Command lamoload is the deterministic load generator for a running lamod
+// daemon. It derives its request stream from the served artifact file and a
+// seed — the same artifact, seed, and flags always produce the same
+// sequence of /v1/predict queries — then drives the daemon in closed-loop
+// (fixed concurrency) or open-loop (fixed arrival rate) mode and reports
+// latency percentiles and throughput in the BENCH_*.json trajectory schema
+// (internal/benchfmt), beside the microbenchmarks cmd/benchjson records.
+//
+// Usage:
+//
+//	lamoload -artifact FILE [-server URL] [-n N] [-c C] [-rate R]
+//	         [-k K] [-batch B] [-seed S] [-timeout D]
+//	         [-out PATH | -merge-into PATH] [-name PREFIX]
+//
+// Modes:
+//
+//	-rate 0 (default): closed loop — C workers issue requests back to back,
+//	        so concurrency is fixed and arrival adapts to the daemon.
+//	-rate R: open loop — requests start every 1/R seconds regardless of
+//	        completions, so queueing delay shows up in the percentiles.
+//
+// The report encodes each percentile as one benchfmt result
+// (PREFIX/p50 … PREFIX/max, ns_per_op = latency) plus PREFIX/throughput,
+// whose ns_per_op is wall_ns/requests — the reciprocal of requests/sec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lamofinder/internal/artifact"
+	"lamofinder/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// errf and errln write diagnostics to the (injected, testable) stderr; a
+// failed diagnostic write has nowhere to be reported.
+func errf(w io.Writer, format string, args ...any) { _, _ = fmt.Fprintf(w, format, args...) }
+func errln(w io.Writer, args ...any)               { _, _ = fmt.Fprintln(w, args...) }
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	artPath := fs.String("artifact", "", "served artifact file: protein-name source and identity check (required)")
+	server := fs.String("server", "http://127.0.0.1:8077", "lamod base URL")
+	n := fs.Int("n", 1000, "total requests to send")
+	c := fs.Int("c", 4, "closed-loop worker count (also the connection pool size)")
+	rate := fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+	k := fs.Int("k", 5, "top-k functions per query")
+	batch := fs.Int("batch", 1, "proteins per request")
+	seed := fs.Int64("seed", 1, "request-stream seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	out := fs.String("out", "-", `snapshot output path ("-" = stdout)`)
+	mergeInto := fs.String("merge-into", "", "append results to this existing BENCH_*.json instead of writing -out")
+	name := fs.String("name", "LoadPredict", "result name prefix in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoload: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *artPath == "" {
+		errln(stderr, "lamoload: -artifact is required")
+		fs.Usage()
+		return 2
+	}
+	if *n <= 0 || *c <= 0 || *batch <= 0 || *rate < 0 {
+		errln(stderr, "lamoload: -n, -c, and -batch must be positive; -rate non-negative")
+		return 2
+	}
+
+	art, err := artifact.LoadFile(*artPath)
+	if err != nil {
+		errf(stderr, "lamoload: %v\n", err)
+		return 1
+	}
+	digest, err := art.Digest()
+	if err != nil {
+		errf(stderr, "lamoload: %v\n", err)
+		return 1
+	}
+	names := make([]string, art.Graph.N())
+	for p := range names {
+		names[p] = art.Graph.Name(p)
+	}
+
+	// One explicit client: pooled connections sized to the worker count,
+	// never the process-global transport.
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *c,
+			MaxIdleConnsPerHost: 2 * *c,
+		},
+	}
+	if err := checkServedArtifact(client, *server, digest); err != nil {
+		errf(stderr, "lamoload: %v\n", err)
+		return 1
+	}
+
+	urls := requestStream(*server, names, *n, *batch, *k, *seed)
+	mode := "closed-loop"
+	if *rate > 0 {
+		mode = "open-loop"
+	}
+	errf(stderr, "lamoload: %d requests, %s, batch=%d k=%d seed=%d against %s\n",
+		*n, mode, *batch, *k, *seed, *server)
+
+	var lat []time.Duration
+	var errs int64
+	var wall time.Duration
+	if *rate > 0 {
+		lat, errs, wall = runOpenLoop(client, urls, *rate)
+	} else {
+		lat, errs, wall = runClosedLoop(client, urls, *c)
+	}
+	if errs > 0 {
+		errf(stderr, "lamoload: %d of %d requests failed\n", errs, *n)
+		return 1
+	}
+
+	results := summarize(*name, lat, wall)
+	rps := float64(len(lat)) / wall.Seconds()
+	errf(stderr, "lamoload: %d ok in %v (%.1f req/s)  p50=%v p90=%v p99=%v max=%v\n",
+		len(lat), wall.Round(time.Millisecond), rps,
+		percentile(lat, 0.50).Round(time.Microsecond),
+		percentile(lat, 0.90).Round(time.Microsecond),
+		percentile(lat, 0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
+
+	command := "lamoload " + strings.Join(args, " ")
+	if *mergeInto != "" {
+		if err := benchfmt.MergeFile(*mergeInto, command, results); err != nil {
+			errf(stderr, "lamoload: %v\n", err)
+			return 1
+		}
+		errf(stderr, "lamoload: merged %d results into %s\n", len(results), *mergeInto)
+		return 0
+	}
+	snap := benchfmt.NewSnapshot(command, results)
+	if err := snap.WriteFile(*out); err != nil {
+		errf(stderr, "lamoload: %v\n", err)
+		return 1
+	}
+	if *out != "-" {
+		errf(stderr, "lamoload: wrote %s\n", *out)
+	}
+	return 0
+}
+
+// checkServedArtifact refuses to measure a daemon serving a different
+// model than the one the request stream was derived from: the numbers
+// would not be comparable to anything.
+func checkServedArtifact(client *http.Client, server, digest string) error {
+	resp, err := client.Get(server + "/v1/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), `"artifact":"`+digest+`"`) {
+		return fmt.Errorf("daemon serves a different artifact than %s (want %s): %s", server, digest, body)
+	}
+	return nil
+}
+
+// requestStream precomputes the n query URLs. Everything that varies is
+// drawn from one seeded source, so a (artifact, seed, n, batch, k) tuple
+// names one exact workload.
+func requestStream(server string, names []string, n, batch, k int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	urls := make([]string, n)
+	var sb strings.Builder
+	for i := range urls {
+		sb.Reset()
+		sb.WriteString(server)
+		sb.WriteString("/v1/predict?")
+		for b := 0; b < batch; b++ {
+			if b > 0 {
+				sb.WriteByte('&')
+			}
+			sb.WriteString("protein=")
+			sb.WriteString(url.QueryEscape(names[rng.Intn(len(names))]))
+		}
+		sb.WriteString("&k=")
+		sb.WriteString(strconv.Itoa(k))
+		urls[i] = sb.String()
+	}
+	return urls
+}
+
+// doRequest issues one query and returns its wall time; the body is read
+// fully so connection reuse works and the measurement covers the complete
+// response.
+func doRequest(client *http.Client, u string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	d := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: status %d", u, resp.StatusCode)
+	}
+	return d, nil
+}
+
+// runClosedLoop drives the stream with c workers, each issuing its next
+// request as soon as the previous one completes.
+func runClosedLoop(client *http.Client, urls []string, c int) ([]time.Duration, int64, time.Duration) {
+	lat := make([]time.Duration, len(urls))
+	ok := make([]bool, len(urls))
+	var next, errs int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(urls) {
+					return
+				}
+				d, err := doRequest(client, urls[i])
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					continue
+				}
+				lat[i], ok[i] = d, true
+			}
+		}()
+	}
+	wg.Wait()
+	return collect(lat, ok), errs, time.Since(start)
+}
+
+// runOpenLoop starts request i at i/rate seconds after the run begins,
+// whether or not earlier requests have finished; a daemon that cannot keep
+// up accumulates queueing delay in the measured latencies instead of
+// silently slowing the generator down.
+func runOpenLoop(client *http.Client, urls []string, rate float64) ([]time.Duration, int64, time.Duration) {
+	lat := make([]time.Duration, len(urls))
+	ok := make([]bool, len(urls))
+	var errs int64
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range urls {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := doRequest(client, urls[i])
+			if err != nil {
+				atomic.AddInt64(&errs, 1)
+				return
+			}
+			lat[i], ok[i] = d, true
+		}(i)
+	}
+	wg.Wait()
+	return collect(lat, ok), errs, time.Since(start)
+}
+
+// collect gathers the successful latencies, sorted ascending.
+func collect(lat []time.Duration, ok []bool) []time.Duration {
+	out := make([]time.Duration, 0, len(lat))
+	for i, d := range lat {
+		if ok[i] {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// percentile reads the nearest-rank q-quantile from ascending-sorted
+// latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// summarize renders the run as benchfmt results: latency percentiles in
+// ns_per_op, plus a throughput entry whose ns_per_op is wall_ns/requests.
+func summarize(prefix string, sorted []time.Duration, wall time.Duration) []benchfmt.Result {
+	n := int64(len(sorted))
+	res := func(suffix string, ns float64) benchfmt.Result {
+		return benchfmt.Result{Name: prefix + "/" + suffix, Procs: 1, Iterations: n, NsPerOp: ns}
+	}
+	return []benchfmt.Result{
+		res("p50", float64(percentile(sorted, 0.50))),
+		res("p90", float64(percentile(sorted, 0.90))),
+		res("p99", float64(percentile(sorted, 0.99))),
+		res("max", float64(sorted[n-1])),
+		res("throughput", float64(wall.Nanoseconds())/float64(n)),
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lamofinder/internal/artifact"
+	"lamofinder/internal/benchfmt"
+	"lamofinder/internal/dataset"
+	"lamofinder/internal/label"
+	"lamofinder/internal/predict"
+	"lamofinder/internal/serve"
+)
+
+// fixture writes the paper-example artifact (indexed) to disk and serves
+// it, returning the artifact path and the daemon's base URL.
+func fixture(t *testing.T) (artPath, serverURL string) {
+	t.Helper()
+	pe := dataset.NewPaperExample()
+	l := label.NewLabelerWithCounts(pe.Corpus, pe.Direct, label.Config{Sigma: 2, MinDirect: 30})
+	motifs := l.LabelMotif(pe.Motif)
+	task := predict.NewTask(pe.Network, pe.Ontology.NumTerms())
+	for p := 0; p < pe.Network.N(); p++ {
+		for _, tm := range pe.Corpus.Terms(p) {
+			task.Functions[p] = append(task.Functions[p], int(tm))
+		}
+	}
+	names := make([]string, pe.Ontology.NumTerms())
+	for tm := range names {
+		names[tm] = pe.Ontology.ID(tm)
+	}
+	art, err := artifact.Build("paper-example", "lamoload test", task, names,
+		pe.Corpus, pe.Direct, 30, motifs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.BuildIndex(2)
+	artPath = filepath.Join(t.TempDir(), "model.lamoart")
+	if err := art.SaveFile(artPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := artifact.LoadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(loaded, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return artPath, ts.URL
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	artPath, url := fixture(t)
+	out := filepath.Join(t.TempDir(), "load.json")
+	var stderr bytes.Buffer
+	code := run([]string{
+		"-artifact", artPath, "-server", url,
+		"-n", "60", "-c", "3", "-batch", "2", "-k", "4", "-seed", "7",
+		"-out", out,
+	}, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchfmt.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"LoadPredict/p50", "LoadPredict/p90", "LoadPredict/p99", "LoadPredict/max", "LoadPredict/throughput"}
+	if len(snap.Results) != len(want) {
+		t.Fatalf("results: %+v", snap.Results)
+	}
+	for i, r := range snap.Results {
+		if r.Name != want[i] {
+			t.Fatalf("result %d named %q, want %q", i, r.Name, want[i])
+		}
+		if r.Iterations != 60 || r.NsPerOp <= 0 {
+			t.Fatalf("result %+v", r)
+		}
+	}
+	// Percentiles are order statistics of one sorted sample.
+	if !(snap.Results[0].NsPerOp <= snap.Results[1].NsPerOp &&
+		snap.Results[1].NsPerOp <= snap.Results[2].NsPerOp &&
+		snap.Results[2].NsPerOp <= snap.Results[3].NsPerOp) {
+		t.Fatalf("percentiles out of order: %+v", snap.Results)
+	}
+}
+
+func TestOpenLoopAndMerge(t *testing.T) {
+	artPath, url := fixture(t)
+	bench := filepath.Join(t.TempDir(), "BENCH_x.json")
+	seedSnap := benchfmt.NewSnapshot("go test", []benchfmt.Result{
+		{Name: "BenchmarkX", Procs: 1, Iterations: 1, NsPerOp: 1},
+	})
+	if err := seedSnap.WriteFile(bench); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	code := run([]string{
+		"-artifact", artPath, "-server", url,
+		"-n", "40", "-rate", "2000", "-seed", "3", "-name", "OpenLoop",
+		"-merge-into", bench,
+	}, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchfmt.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 6 || snap.Results[0].Name != "BenchmarkX" || snap.Results[1].Name != "OpenLoop/p50" {
+		t.Fatalf("merged results: %+v", snap.Results)
+	}
+	if !strings.Contains(snap.Command, "go test; lamoload") {
+		t.Fatalf("merged command: %q", snap.Command)
+	}
+}
+
+// TestRequestStreamDeterministic: the workload is a pure function of
+// (names, n, batch, k, seed).
+func TestRequestStreamDeterministic(t *testing.T) {
+	names := []string{"p1", "p2", "needs escape+", "p4"}
+	a := requestStream("http://h", names, 50, 2, 5, 9)
+	b := requestStream("http://h", names, 50, 2, 5, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := requestStream("http://h", names, 50, 2, 5, 10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	for _, u := range a {
+		if !strings.HasPrefix(u, "http://h/v1/predict?protein=") || !strings.HasSuffix(u, "&k=5") {
+			t.Fatalf("malformed url %q", u)
+		}
+		if strings.Count(u, "protein=") != 2 {
+			t.Fatalf("batch size wrong in %q", u)
+		}
+	}
+}
+
+func TestDigestMismatchRefused(t *testing.T) {
+	artPath, url := fixture(t)
+	// A different artifact file than the daemon serves: note changes digest.
+	pe := dataset.NewPaperExample()
+	l := label.NewLabelerWithCounts(pe.Corpus, pe.Direct, label.Config{Sigma: 2, MinDirect: 30})
+	motifs := l.LabelMotif(pe.Motif)
+	task := predict.NewTask(pe.Network, pe.Ontology.NumTerms())
+	names := make([]string, pe.Ontology.NumTerms())
+	for tm := range names {
+		names[tm] = pe.Ontology.ID(tm)
+	}
+	other, err := artifact.Build("paper-example", "different note", task, names,
+		pe.Corpus, pe.Direct, 30, motifs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPath := filepath.Join(t.TempDir(), "other.lamoart")
+	if err := other.SaveFile(otherPath); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	if code := run([]string{"-artifact", otherPath, "-server", url, "-n", "5"}, &stderr); code != 1 {
+		t.Fatalf("mismatched artifact accepted (exit %d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "different artifact") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	// Sanity: the matching artifact is accepted.
+	var ok bytes.Buffer
+	if code := run([]string{"-artifact", artPath, "-server", url, "-n", "5", "-out",
+		filepath.Join(t.TempDir(), "o.json")}, &ok); code != 0 {
+		t.Fatalf("matching artifact refused: %s", ok.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-n", "10"}, &stderr); code != 2 {
+		t.Fatalf("missing -artifact: exit %d", code)
+	}
+	for _, bad := range [][]string{
+		{"-artifact", "x", "-n", "0"},
+		{"-artifact", "x", "-c", "0"},
+		{"-artifact", "x", "-batch", "-1"},
+		{"-artifact", "x", "-rate", "-3"},
+		{"-artifact", "x", "extra"},
+	} {
+		if code := run(bad, &stderr); code != 2 {
+			t.Fatalf("%v: exit %d, want 2", bad, code)
+		}
+	}
+}

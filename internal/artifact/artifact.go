@@ -55,6 +55,12 @@ type Artifact struct {
 	// Motifs are the mined labeled motifs with their occurrence sets.
 	Motifs []*label.LabeledMotif
 
+	// Index is the optional build-time score index (see ScoreIndex). When
+	// present the artifact encodes as format version 2 and the daemon
+	// serves predictions without scoring; when nil it encodes as version 1
+	// and the daemon scores on demand.
+	Index *ScoreIndex
+
 	digest string // hex SHA-256 of the encoded form, cached by Encode/Load
 }
 

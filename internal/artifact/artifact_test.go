@@ -182,7 +182,7 @@ func TestVersionAndMagicErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := append([]byte(nil), good...)
-	bad[len(Magic)] = 2 // version
+	bad[len(Magic)] = 9 // version
 	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("version mismatch not refused: %v", err)
 	}

@@ -16,10 +16,17 @@ import (
 // On-disk layout (all integers little-endian):
 //
 //	offset 0   magic   "LAMOART\n" (8 bytes)
-//	offset 8   version uint32 (currently 1)
+//	offset 8   version uint32 (1 or 2)
 //	offset 12  plen    uint64 — payload length
 //	offset 20  payload plen bytes, canonical encoding of the Artifact
 //	offset 20+plen     SHA-256 digest of bytes [0, 20+plen)
+//
+// A version-2 payload is the version-1 payload followed by the score-index
+// section (see index.go): the dense protein×function score matrix and the
+// per-protein full rankings precomputed at build time. Encode emits
+// version 1 when the artifact carries no index and version 2 when it does,
+// so every model still has exactly one canonical byte form and
+// save→load→save stays byte-identical in both formats.
 //
 // The payload encoding is a pure function of the Artifact's contents —
 // every list is written in its canonical in-memory order (adjacency and
@@ -30,8 +37,12 @@ import (
 // Magic identifies a lamod artifact file.
 const Magic = "LAMOART\n"
 
-// Version is the current format version; Load refuses any other.
-const Version = 1
+// Version1 is the unindexed format: model payload only.
+const Version1 = 1
+
+// Version is the current format version, written for artifacts carrying a
+// score index. Load accepts Version1 and Version, nothing else.
+const Version = 2
 
 const headerLen = len(Magic) + 4 + 8
 
@@ -47,9 +58,16 @@ func (a *Artifact) Encode() ([]byte, error) {
 	if err := a.encodePayload(e); err != nil {
 		return nil, err
 	}
+	version := uint32(Version1)
+	if a.Index != nil {
+		version = Version
+		if err := a.encodeIndex(e); err != nil {
+			return nil, err
+		}
+	}
 	out := make([]byte, 0, headerLen+len(e.buf)+sha256.Size)
 	out = append(out, Magic...)
-	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(e.buf)))
 	out = append(out, e.buf...)
 	sum := sha256.Sum256(out)
@@ -88,8 +106,8 @@ func Decode(b []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("artifact: not a lamod artifact (bad magic)")
 	}
 	version := binary.LittleEndian.Uint32(b[len(Magic):])
-	if version != Version {
-		return nil, fmt.Errorf("artifact: format version %d, this build reads version %d", version, Version)
+	if version != Version1 && version != Version {
+		return nil, fmt.Errorf("artifact: format version %d, this build reads versions %d and %d", version, Version1, Version)
 	}
 	plen := binary.LittleEndian.Uint64(b[len(Magic)+4:])
 	if plen != uint64(len(b)-headerLen-sha256.Size) {
@@ -105,6 +123,13 @@ func Decode(b []byte) (*Artifact, error) {
 	a, err := decodePayload(d)
 	if err != nil {
 		return nil, err
+	}
+	if version == Version {
+		ix, err := decodeIndex(d, a)
+		if err != nil {
+			return nil, err
+		}
+		a.Index = ix
 	}
 	if d.off != len(d.b) {
 		return nil, fmt.Errorf("artifact: %d trailing payload bytes", len(d.b)-d.off)

@@ -1,0 +1,210 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lamofinder/internal/predict"
+)
+
+// fileVersion reads the format version out of encoded artifact bytes.
+func fileVersion(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[len(Magic):])
+}
+
+func TestEncodeVersionTracksIndex(t *testing.T) {
+	a := testArtifact(t)
+	plain, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fileVersion(plain); v != Version1 {
+		t.Fatalf("unindexed artifact encoded as version %d, want %d", v, Version1)
+	}
+	a.BuildIndex(2)
+	indexed, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fileVersion(indexed); v != Version {
+		t.Fatalf("indexed artifact encoded as version %d, want %d", v, Version)
+	}
+	if len(indexed) <= len(plain) {
+		t.Fatalf("index section added no bytes: %d vs %d", len(indexed), len(plain))
+	}
+}
+
+func TestIndexRoundTripByteIdentical(t *testing.T) {
+	a := testArtifact(t)
+	a.BuildIndex(3)
+	first, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Index == nil {
+		t.Fatal("index lost across round trip")
+	}
+	second, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("v2 save→load→save not byte-identical: %d vs %d bytes", len(first), len(second))
+	}
+
+	// The reconstructed index must replay the scorer exactly.
+	scorer := a.NewScorer()
+	for p := 0; p < a.Graph.N(); p++ {
+		row := scorer.Scores(p)
+		if !reflect.DeepEqual(loaded.Index.Row(p), row) {
+			t.Fatalf("protein %d: index row %v, scorer %v", p, loaded.Index.Row(p), row)
+		}
+		if want := predict.TopK(row, 0); !reflect.DeepEqual(loaded.Index.Ranking(p), want) {
+			t.Fatalf("protein %d: index ranking %v, TopK %v", p, loaded.Index.Ranking(p), want)
+		}
+	}
+}
+
+// TestV1ArtifactStillLoads pins backward compatibility: version-1 bytes
+// (what every pre-index build wrote) decode into a working, unindexed
+// artifact.
+func TestV1ArtifactStillLoads(t *testing.T) {
+	a := testArtifact(t)
+	v1, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileVersion(v1) != Version1 {
+		t.Fatalf("fixture encoded as version %d", fileVersion(v1))
+	}
+	loaded, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 artifact refused: %v", err)
+	}
+	if loaded.Index != nil {
+		t.Fatal("v1 artifact decoded with an index")
+	}
+	if loaded.NewScorer().Coverage() == 0 {
+		t.Fatal("v1 artifact lost its motifs")
+	}
+}
+
+// TestIndexTamperRejected flips bits across the index section (the bytes a
+// v1 payload does not have) and requires every variant to be rejected by
+// the digest check.
+func TestIndexTamperRejected(t *testing.T) {
+	a := testArtifact(t)
+	plainLen := func() int {
+		b, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(b)
+	}()
+	a.BuildIndex(1)
+	good, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The index section occupies the payload bytes beyond the v1 encoding.
+	for off := plainLen - 40; off < len(good); off += 3 {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x08
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("accepted artifact with tampered index byte at offset %d", off)
+		}
+	}
+}
+
+// TestIndexConsistencyValidated re-signs artifacts whose index disagrees
+// with the score matrix — a forgery the digest cannot catch because the
+// digest is recomputed — and requires the decoder's semantic checks to
+// reject them.
+func TestIndexConsistencyValidated(t *testing.T) {
+	mutate := func(t *testing.T, f func(ix *ScoreIndex) bool, wantErr string) {
+		t.Helper()
+		a := testArtifact(t)
+		a.BuildIndex(1)
+		if !f(a.Index) {
+			t.Skip("fixture shape cannot express this mutation")
+		}
+		a.digest = ""
+		b, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Decode(b)
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("inconsistent index not rejected: %v", err)
+		}
+	}
+
+	mutate(t, func(ix *ScoreIndex) bool {
+		// Swap the two best entries of some protein: order violation.
+		for p := range ix.ranked {
+			if len(ix.ranked[p]) >= 2 {
+				rk := ix.ranked[p]
+				rk[0], rk[1] = rk[1], rk[0]
+				return true
+			}
+		}
+		return false
+	}, "out of order")
+
+	mutate(t, func(ix *ScoreIndex) bool {
+		// Drop a ranked entry: ranking no longer covers the positive row.
+		for p := range ix.ranked {
+			if len(ix.ranked[p]) >= 1 {
+				ix.ranked[p] = ix.ranked[p][:len(ix.ranked[p])-1]
+				return true
+			}
+		}
+		return false
+	}, "positive scores")
+}
+
+// TestDigestChangesIffIndexChanges: attaching the index changes the model
+// identity, rebuilding the same index does not, and rebuilding at a
+// different parallelism does not either.
+func TestDigestChangesIffIndexChanges(t *testing.T) {
+	digest := func(t *testing.T, build func(a *Artifact)) string {
+		t.Helper()
+		a := testArtifact(t)
+		if build != nil {
+			build(a)
+		}
+		d, err := a.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	plain := digest(t, nil)
+	ix1 := digest(t, func(a *Artifact) { a.BuildIndex(1) })
+	ix4 := digest(t, func(a *Artifact) { a.BuildIndex(4) })
+	if plain == ix1 {
+		t.Fatal("digest unchanged by adding the score index")
+	}
+	if ix1 != ix4 {
+		t.Fatalf("index digest depends on build parallelism: %s vs %s", ix1, ix4)
+	}
+	// Dropping the index restores the v1 identity.
+	a := testArtifact(t)
+	a.BuildIndex(2)
+	a.Index = nil
+	a.digest = ""
+	d, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != plain {
+		t.Fatalf("dropping the index did not restore the v1 digest: %s vs %s", d, plain)
+	}
+}

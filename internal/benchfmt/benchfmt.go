@@ -1,0 +1,148 @@
+// Package benchfmt defines the benchmark trajectory schema shared by the
+// tools that write BENCH_<date>.json snapshots (cmd/benchjson parses
+// `go test -bench` output; cmd/lamoload reports serve latency), so every
+// trajectory point — microbenchmark or load test — is comparable under one
+// format.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line: a named measurement in ns/op plus the
+// optional -benchmem columns.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is one dated trajectory point.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Command    string   `json:"command,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// NewSnapshot stamps a snapshot with today's date and the running
+// toolchain/host facts.
+func NewSnapshot(command string, results []Result) Snapshot {
+	return Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Command:    command,
+		Results:    results,
+	}
+}
+
+// Marshal renders the snapshot as indented JSON with a trailing newline —
+// the on-disk BENCH_*.json form.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the snapshot to path, or to stdout when path is "-".
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// MergeFile appends results to the snapshot stored at path, preserving its
+// date and provenance fields. The command strings are joined so the merged
+// file still says how each half was produced.
+func MergeFile(path, command string, results []Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if command != "" {
+		if snap.Command != "" {
+			snap.Command += "; "
+		}
+		snap.Command += command
+	}
+	snap.Results = append(snap.Results, results...)
+	return snap.WriteFile(path)
+}
+
+// ParseBench extracts Benchmark lines from `go test -bench` output:
+//
+//	BenchmarkName-8   100   123456 ns/op   789 B/op   12 allocs/op
+func ParseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		res := Result{Procs: 1}
+		res.Name = fields[0]
+		if i := strings.LastIndex(res.Name, "-"); i > 0 {
+			if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Procs = p
+				res.Name = res.Name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res.Iterations = iters
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		res.NsPerOp = ns
+		for i := 3; i+1 < len(fields); i++ {
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			case "allocs/op":
+				res.AllocsOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}

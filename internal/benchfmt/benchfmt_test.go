@@ -1,0 +1,93 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	log := `
+goos: linux
+goarch: amd64
+pkg: lamofinder/internal/serve
+BenchmarkHandlerPredictIndexed-8  	 2396444	       503.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTopKHeap-4   	  186000	      6409 ns/op	     160 B/op	       1 allocs/op
+BenchmarkNoMem   	     100	  15953524 ns/op
+BenchmarkBadLine	garbage	fields here
+PASS
+ok  	lamofinder/internal/serve	4.3s
+`
+	got, err := ParseBench(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{Name: "BenchmarkHandlerPredictIndexed", Procs: 8, Iterations: 2396444, NsPerOp: 503.1},
+		{Name: "BenchmarkTopKHeap", Procs: 4, Iterations: 186000, NsPerOp: 6409, BytesPerOp: 160, AllocsOp: 1},
+		{Name: "BenchmarkNoMem", Procs: 1, Iterations: 100, NsPerOp: 15953524},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseBench:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+
+	snap := NewSnapshot("go test -bench .", []Result{
+		{Name: "BenchmarkA", Procs: 1, Iterations: 10, NsPerOp: 100},
+	})
+	if snap.Date == "" || snap.GoVersion == "" || snap.NumCPU <= 0 {
+		t.Fatalf("NewSnapshot left provenance empty: %+v", snap)
+	}
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loadResults := []Result{
+		{Name: "LoadPredict/p50", Procs: 1, Iterations: 500, NsPerOp: 40000},
+		{Name: "LoadPredict/p99", Procs: 1, Iterations: 500, NsPerOp: 90000},
+	}
+	if err := MergeFile(path, "lamoload -n 500", loadResults); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Snapshot
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Date != snap.Date {
+		t.Fatalf("merge changed the date: %q vs %q", merged.Date, snap.Date)
+	}
+	if want := "go test -bench .; lamoload -n 500"; merged.Command != want {
+		t.Fatalf("merged command %q, want %q", merged.Command, want)
+	}
+	if len(merged.Results) != 3 || merged.Results[1].Name != "LoadPredict/p50" {
+		t.Fatalf("merged results: %+v", merged.Results)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("snapshot file missing trailing newline")
+	}
+}
+
+func TestMergeFileErrors(t *testing.T) {
+	if err := MergeFile(filepath.Join(t.TempDir(), "absent.json"), "x", nil); err == nil {
+		t.Fatal("merge into a missing file did not fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeFile(bad, "x", nil); err == nil {
+		t.Fatal("merge into malformed JSON did not fail")
+	}
+}

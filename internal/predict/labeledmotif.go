@@ -35,12 +35,45 @@ type incidence struct {
 	count float64
 }
 
+// incIndex merges repeated (protein, motif, vertex) placements in O(1),
+// replacing a linear re-scan of the protein's incidence list on every
+// occurrence — O(k) per insert for a hub protein with k slots, O(k²) over
+// its occurrences. It is a dense map keyed by (motif, vertex) per protein:
+// slot p*maxSize+v holds the position of p's incidence for vertex v of the
+// motif stamped in the same slot, so a stale stamp (a different motif)
+// reads as absent without any clearing between motifs. Incidence slices
+// still grow in first-seen order, so construction — and the float
+// summation order in Scores — is unchanged from the linear-scan builder.
+type incIndex struct {
+	maxSize int
+	pos     []int32 // position inside incidences[p], valid iff stamped
+	stamp   []int32 // 1+motif index that last wrote the slot
+}
+
+func newIncIndex(nProteins int, motifs []MotifInput) *incIndex {
+	maxSize := 0
+	for _, g := range motifs {
+		if g.Size > maxSize {
+			maxSize = g.Size
+		}
+	}
+	return &incIndex{
+		maxSize: maxSize,
+		pos:     make([]int32, nProteins*maxSize),
+		stamp:   make([]int32, nProteins*maxSize),
+	}
+}
+
 // NewLabeledMotif indexes the labeled motifs against the task.
 func NewLabeledMotif(t *Task, motifs []MotifInput) *LabeledMotif {
 	lp := &LabeledMotif{
 		t:          t,
 		incidences: make([][]incidence, t.Network.N()),
 		motifs:     motifs,
+	}
+	var at *incIndex
+	if len(motifs) > 0 {
+		at = newIncIndex(t.Network.N(), motifs)
 	}
 	// LMS(g) = s(g)*|g| / max_k over same-size labeled motifs (Eq. 4).
 	maxBySize := map[int]float64{}
@@ -69,7 +102,7 @@ func NewLabeledMotif(t *Task, motifs []MotifInput) *LabeledMotif {
 				for _, f := range t.Functions[p] {
 					lp.delta[gi][v][f]++
 				}
-				lp.addIncidence(int(p), gi, v)
+				lp.addIncidence(at, int(p), gi, v)
 			}
 		}
 	}
@@ -77,14 +110,15 @@ func NewLabeledMotif(t *Task, motifs []MotifInput) *LabeledMotif {
 }
 
 // addIncidence records one more occurrence of protein p at (motif, vertex),
-// merging repeats into a count.
-func (lp *LabeledMotif) addIncidence(p, motif, vertex int) {
-	for i := range lp.incidences[p] {
-		if lp.incidences[p][i].motif == motif && lp.incidences[p][i].vertex == vertex {
-			lp.incidences[p][i].count++
-			return
-		}
+// merging repeats into a count via the construction-time position index.
+func (lp *LabeledMotif) addIncidence(at *incIndex, p, motif, vertex int) {
+	slot := p*at.maxSize + vertex
+	if at.stamp[slot] == int32(motif+1) {
+		lp.incidences[p][at.pos[slot]].count++
+		return
 	}
+	at.stamp[slot] = int32(motif + 1)
+	at.pos[slot] = int32(len(lp.incidences[p]))
 	lp.incidences[p] = append(lp.incidences[p], incidence{motif, vertex, 1})
 }
 

@@ -1,0 +1,56 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+)
+
+// referenceIncidences rebuilds the incidence lists with the original
+// linear-scan merge, so the dense position-index builder is pinned to the
+// exact slice contents and ordering the O(k²) construction produced.
+func referenceIncidences(nProteins int, motifs []MotifInput) [][]incidence {
+	inc := make([][]incidence, nProteins)
+	add := func(p, motif, vertex int) {
+		for i := range inc[p] {
+			if inc[p][i].motif == motif && inc[p][i].vertex == vertex {
+				inc[p][i].count++
+				return
+			}
+		}
+		inc[p] = append(inc[p], incidence{motif, vertex, 1})
+	}
+	for gi, g := range motifs {
+		for _, occ := range g.Occurrences {
+			for v, p := range occ {
+				add(int(p), gi, v)
+			}
+		}
+	}
+	return inc
+}
+
+func TestIncidenceBuilderMatchesLinearScan(t *testing.T) {
+	task, motifs := yeastScaleInputs(300, 40, 30, 5, 7)
+	lp := NewLabeledMotif(task, motifs)
+	want := referenceIncidences(task.Network.N(), motifs)
+	for p := range want {
+		if len(want[p]) == 0 && len(lp.incidences[p]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(lp.incidences[p], want[p]) {
+			t.Fatalf("protein %d incidences diverge from linear-scan merge:\n got %+v\nwant %+v",
+				p, lp.incidences[p], want[p])
+		}
+	}
+}
+
+func TestIncidenceBuilderNoMotifs(t *testing.T) {
+	task, _ := yeastScaleInputs(10, 1, 1, 2, 1)
+	lp := NewLabeledMotif(task, nil)
+	if lp.Coverage() != 0 {
+		t.Fatalf("coverage %d over zero motifs", lp.Coverage())
+	}
+	if got := lp.Scores(3); len(got) != task.NumFunctions {
+		t.Fatalf("Scores length %d, want %d", len(got), task.NumFunctions)
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// discardResponseWriter is the minimal ResponseWriter for measuring the
+// handler itself: header storage is pre-allocated once and the body is
+// dropped, so every allocation AllocsPerRun observes belongs to
+// handlePredict, not to the test harness.
+type discardResponseWriter struct{ h http.Header }
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *discardResponseWriter) WriteHeader(int)             {}
+
+// TestPredictHotPathAllocs is the tentpole's allocation budget: on an
+// indexed artifact, a warmed-up GET /v1/predict must average under one
+// allocation per request through handlePredict. (The instrument/timeout
+// middleware and net/http connection handling allocate on their own and
+// are excluded — the claim is about the prediction path.)
+func TestPredictHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime defeats sync.Pool reuse on purpose; the budget only holds in normal builds")
+	}
+	v2, _ := indexedModel(t)
+	s, err := New(v2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict?protein=p1&protein=p5&protein=p13&k=5", nil)
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	// Warm the scratch pool to its high-water capacities.
+	for i := 0; i < 8; i++ {
+		s.handlePredict(w, req)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.handlePredict(w, req)
+	})
+	if allocs >= 1 {
+		t.Fatalf("index hot path averages %.2f allocs/op, want < 1", allocs)
+	}
+}
+
+// BenchmarkHandlerPredictIndexed measures the handler over the score
+// index: the numbers feed the allocs/op budget in make bench-json.
+func BenchmarkHandlerPredictIndexed(b *testing.B) {
+	v2, _ := indexedModel(b)
+	s, err := New(v2, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict?protein=p1&protein=p5&protein=p13&k=5", nil)
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	s.handlePredict(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handlePredict(w, req)
+	}
+}
+
+// BenchmarkHandlerPredictFallback is the same request against the same
+// model without an index: LRU-cached on-demand scoring, for the before
+// side of the hot-path comparison.
+func BenchmarkHandlerPredictFallback(b *testing.B) {
+	_, v1 := indexedModel(b)
+	s, err := New(v1, Config{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict?protein=p1&protein=p5&protein=p13&k=5", nil)
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	s.handlePredict(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handlePredict(w, req)
+	}
+}
+
+// BenchmarkServerPredictE2E goes through the full stack — instrumented
+// mux, timeout handler, loopback TCP — so the hot-path numbers above can
+// be read against what a client actually observes.
+func BenchmarkServerPredictE2E(b *testing.B) {
+	v2, _ := indexedModel(b)
+	ts := newTestServer(b, v2, Config{})
+	client := ts.Client()
+	url := ts.URL + "/v1/predict?protein=p1&protein=p5&protein=p13&k=5"
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				break
+			}
+		}
+		if err := resp.Body.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lamofinder/internal/predict"
+)
+
+// TestAppendJSONStringMatchesStdlib pins the hand-rolled string escaper to
+// encoding/json byte-for-byte, including the HTML escapes, control
+// characters, astral-plane runes, invalid UTF-8, and the U+2028/U+2029
+// JavaScript line separators Marshal special-cases.
+func TestAppendJSONStringMatchesStdlib(t *testing.T) {
+	cases := []string{
+		"",
+		"p1",
+		"YGR192C",
+		`quote " backslash \ slash /`,
+		"tab\tnewline\ncarriage\rmix",
+		"control \x00 \x01 \x1f bytes",
+		"html <b>&amp;</b> sensitive",
+		"héllo wörld",
+		"日本語テキスト",
+		"emoji 🧬 protein",
+		"line sep \u2028 and para sep \u2029",
+		"invalid \xff\xfe utf8",
+		"truncated \xc3",
+		"mixed \xed\xa0\x80 surrogate bytes",
+		"\x7f del byte",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		b := make([]byte, rng.Intn(40))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		cases = append(cases, string(b))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("string %q: got %s, stdlib %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesStdlib pins the float encoder to encoding/json
+// across the format boundaries (1e-6, 1e21), negative zero, subnormals, and
+// a seeded sweep of random magnitudes.
+func TestAppendJSONFloatMatchesStdlib(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, 2.0 / 3.0, 1.0 / 3.0, 0.1, 3.141592653589793,
+		1e-6, 9.999999e-7, 1e-7, 1e20, 1e21, 9.99e20, 1.1e21, 1e-300, 5e-324,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), -2.5e-8, 6.02214076e23,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+		cases = append(cases, f, -f)
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, rng.Float64()) // the [0,1) score range served in practice
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		got := appendJSONFloat(nil, f)
+		if !bytes.Equal(got, want) {
+			t.Errorf("float %v: got %s, stdlib %s", f, got, want)
+		}
+	}
+}
+
+// TestAppendPredictResponseMatchesStdlib renders full response bodies both
+// ways and requires identical bytes, including empty rankings, empty
+// batches, and names that need escaping.
+func TestAppendPredictResponseMatchesStdlib(t *testing.T) {
+	fnNames := []string{"GO:0000001", "transport & binding", "ribosome <LSU>", "väx"}
+	cases := []struct {
+		name     string
+		digest   string
+		k        int
+		proteins []string
+		rankings [][]predict.Ranked
+	}{
+		{"empty batch", "abc123", 5, nil, nil},
+		{"one empty ranking", "abc123", 3, []string{"p1"}, [][]predict.Ranked{nil}},
+		{
+			"full batch", "deadbeef", 4,
+			[]string{"p1", `q"2`, "sep\u2028"},
+			[][]predict.Ranked{
+				{{Function: 0, Score: 1}, {Function: 2, Score: 2.0 / 3.0}},
+				{{Function: 3, Score: 1e-7}},
+				{{Function: 1, Score: 0.25}, {Function: 0, Score: 0.125}, {Function: 2, Score: 1e-22}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		resp := PredictResponse{Artifact: tc.digest, K: tc.k, Results: []ProteinResult{}}
+		for i, name := range tc.proteins {
+			pr := ProteinResult{Protein: name, Predictions: []Prediction{}}
+			for _, r := range tc.rankings[i] {
+				pr.Predictions = append(pr.Predictions, Prediction{
+					Function: r.Function, Name: fnNames[r.Function], Score: r.Score,
+				})
+			}
+			resp.Results = append(resp.Results, pr)
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		got := appendPredictResponse(nil, tc.digest, tc.k, tc.proteins, tc.rankings, fnNames)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s:\ngot    %s\nstdlib %s", tc.name, got, want)
+		}
+	}
+}

@@ -7,8 +7,9 @@ import "sync/atomic"
 // a consistent cut, which is all a metrics endpoint needs.
 type metrics struct {
 	requests      atomic.Int64 // all HTTP requests
-	predictions   atomic.Int64 // proteins scored (cache hits included)
+	predictions   atomic.Int64 // proteins scored (cache and index hits included)
 	errors        atomic.Int64 // 4xx/5xx responses
+	indexHits     atomic.Int64 // proteins answered from the score index
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	flightShared  atomic.Int64 // queries that piggybacked on an in-flight twin
@@ -20,6 +21,7 @@ type MetricsSnapshot struct {
 	Requests      int64 `json:"requests"`
 	Predictions   int64 `json:"predictions"`
 	Errors        int64 `json:"errors"`
+	IndexHits     int64 `json:"index_hits"`
 	CacheHits     int64 `json:"cache_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
 	FlightShared  int64 `json:"singleflight_shared"`
@@ -32,6 +34,7 @@ func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
 		Requests:      m.requests.Load(),
 		Predictions:   m.predictions.Load(),
 		Errors:        m.errors.Load(),
+		IndexHits:     m.indexHits.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
 		FlightShared:  m.flightShared.Load(),

@@ -24,7 +24,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"lamofinder/internal/artifact"
@@ -36,14 +39,21 @@ import (
 // default; none of the knobs change response bytes.
 type Config struct {
 	// Parallelism caps the worker goroutines scoring a batch request
-	// (0 = GOMAXPROCS).
+	// (0 = GOMAXPROCS). Irrelevant on the index path, which only reads.
 	Parallelism int
-	// CacheSize bounds the LRU of ranked score vectors, in entries.
+	// CacheSize bounds the LRU of ranked score vectors, in entries. Only
+	// the fallback (unindexed) path consults it.
 	CacheSize int
 	// RequestTimeout is the per-request deadline enforced server-side.
 	RequestTimeout time.Duration
 	// MaxBatch caps the proteins accepted in one predict request.
 	MaxBatch int
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on
+	// the daemon's own mux, outside the request deadline (a 30s CPU
+	// profile must outlive a 5s predict timeout). Off by default: the
+	// endpoints expose stacks and heap contents, so they are opt-in for
+	// operators, never ambient.
+	EnablePprof bool
 }
 
 // DefaultConfig returns the serving defaults.
@@ -59,6 +69,7 @@ func DefaultConfig() Config {
 type Server struct {
 	art    *artifact.Artifact
 	scorer *predict.LabeledMotif
+	index  *artifact.ScoreIndex // nil for v1 artifacts: score on demand
 	byName map[string]int
 	digest string
 	cfg    Config
@@ -92,6 +103,7 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 	return &Server{
 		art:    art,
 		scorer: art.NewScorer(),
+		index:  art.Index,
 		byName: byName,
 		digest: digest,
 		cfg:    cfg,
@@ -99,6 +111,9 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 		flight: newFlightGroup(),
 	}, nil
 }
+
+// Indexed reports whether the served artifact carries a score index.
+func (s *Server) Indexed() bool { return s.index != nil }
 
 // Digest returns the served artifact's identity.
 func (s *Server) Digest() string { return s.digest }
@@ -108,6 +123,8 @@ func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()
 
 // Handler returns the daemon's HTTP handler: its own ServeMux (never the
 // process-global one), instrumented, with the per-request deadline applied.
+// With EnablePprof the profiling endpoints mount beside — not inside — the
+// deadlined chain, so profiles longer than the request timeout work.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -115,7 +132,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/motifs", s.handleMotifs)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	deadlined := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
-	return s.instrument(deadlined)
+	h := s.instrument(deadlined)
+	if !s.cfg.EnablePprof {
+		return h
+	}
+	root := http.NewServeMux()
+	root.Handle("/", h)
+	root.HandleFunc("/debug/pprof/", pprof.Index)
+	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return root
 }
 
 // ListenAndServe runs the daemon on addr until ctx is canceled (the caller
@@ -207,65 +235,130 @@ type predictRequest struct {
 	K        int      `json:"k"`
 }
 
+// parsePredictQuery scans a raw GET query for protein= values (in order)
+// and the first k=, appending proteins into the scratch without copying
+// when the value carries no percent- or plus-escapes. It mirrors what
+// r.URL.Query() yields for the keys the handler reads: unparsable pairs
+// are skipped, later duplicate k values are ignored. Hand-rolling the scan
+// keeps the index hot path free of the per-request url.Values map.
+func parsePredictQuery(raw string, sc *scratch) (k string) {
+	for len(raw) > 0 {
+		pair := raw
+		if i := strings.IndexByte(pair, '&'); i >= 0 {
+			pair, raw = pair[:i], pair[i+1:]
+		} else {
+			raw = ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue // url.ParseQuery drops semicolon-bearing pairs
+		}
+		key, val := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, val = pair[:i], pair[i+1:]
+		}
+		switch key {
+		case "protein":
+			if strings.ContainsAny(val, "%+") {
+				dec, err := url.QueryUnescape(val)
+				if err != nil {
+					continue
+				}
+				val = dec
+			}
+			sc.proteins = append(sc.proteins, val)
+		case "k":
+			if k != "" {
+				continue
+			}
+			if strings.ContainsAny(val, "%+") {
+				dec, err := url.QueryUnescape(val)
+				if err != nil {
+					continue
+				}
+				val = dec
+			}
+			k = val
+		}
+	}
+	return k
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
+	sc := getScratch()
+	defer putScratch(sc)
+	k := 0
 	switch r.Method {
 	case http.MethodGet:
-		q := r.URL.Query()
-		req.Proteins = q["protein"]
-		if ks := q.Get("k"); ks != "" {
-			k, err := strconv.Atoi(ks)
+		if ks := parsePredictQuery(r.URL.RawQuery, sc); ks != "" {
+			v, err := strconv.Atoi(ks)
 			if err != nil {
 				s.writeError(w, http.StatusBadRequest, "k must be an integer, got %q", ks)
 				return
 			}
-			req.K = k
+			k = v
 		}
 	case http.MethodPost:
+		var req predictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
+		sc.proteins = append(sc.proteins, req.Proteins...)
+		k = req.K
 	default:
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
-	if len(req.Proteins) == 0 {
+	if len(sc.proteins) == 0 {
 		s.writeError(w, http.StatusBadRequest, "no proteins named (use ?protein=NAME or a JSON body)")
 		return
 	}
-	if len(req.Proteins) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusBadRequest, "%d proteins exceeds the batch cap of %d", len(req.Proteins), s.cfg.MaxBatch)
+	if len(sc.proteins) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "%d proteins exceeds the batch cap of %d", len(sc.proteins), s.cfg.MaxBatch)
 		return
 	}
-	if req.K < 0 {
-		s.writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", req.K)
+	if k < 0 {
+		s.writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", k)
 		return
 	}
-	if req.K == 0 || req.K > s.art.NumFunctions {
-		req.K = s.art.NumFunctions
+	if k == 0 || k > s.art.NumFunctions {
+		k = s.art.NumFunctions
 	}
-	ids := make([]int, len(req.Proteins))
-	for i, name := range req.Proteins {
+	for _, name := range sc.proteins {
 		p, ok := s.resolve(name)
 		if !ok {
 			s.writeError(w, http.StatusNotFound, "unknown protein %q", name)
 			return
 		}
-		ids[i] = p
+		sc.ids = append(sc.ids, p)
 	}
 
-	// Score the batch on the worker pool; each slot is written only by its
-	// own index, so response order always matches request order.
-	results := make([]ProteinResult, len(ids))
-	par.Do(len(ids), par.Workers(s.cfg.Parallelism), func(i int) {
-		results[i] = ProteinResult{
-			Protein:     req.Proteins[i],
-			Predictions: s.scoreOne(ids[i], req.K),
+	if cap(sc.rankings) < len(sc.ids) {
+		sc.rankings = make([][]predict.Ranked, len(sc.ids))
+	}
+	sc.rankings = sc.rankings[:len(sc.ids)]
+	if s.index != nil {
+		// Index hit: a prediction is a subslice of the precomputed full
+		// ranking — no scoring, no sorting, no worker pool, no allocation.
+		for i, p := range sc.ids {
+			rk := s.index.Ranking(p)
+			if k < len(rk) {
+				rk = rk[:k]
+			}
+			sc.rankings[i] = rk
 		}
-	})
-	s.met.predictions.Add(int64(len(ids)))
-	s.writeJSON(w, http.StatusOK, PredictResponse{Artifact: s.digest, K: req.K, Results: results})
+		s.met.indexHits.Add(int64(len(sc.ids)))
+	} else {
+		// Fallback (v1 artifact): score the batch on the worker pool; each
+		// slot is written only by its own index, so response order always
+		// matches request order.
+		par.Do(len(sc.ids), par.Workers(s.cfg.Parallelism), func(i int) {
+			sc.rankings[i] = s.scoreOne(sc.ids[i], k)
+		})
+	}
+	s.met.predictions.Add(int64(len(sc.ids)))
+	sc.buf = appendPredictResponse(sc.buf, s.digest, k, sc.proteins, sc.rankings, s.art.FunctionNames)
+	s.writeRaw(w, http.StatusOK, sc.buf)
 }
 
 // resolve maps a protein name (or a bare vertex index) to its vertex id.
@@ -282,31 +375,24 @@ func (s *Server) resolve(name string) (int, bool) {
 // scoreOne returns protein p's top-k ranking, consulting the LRU cache and
 // collapsing concurrent identical queries through the flight group. The
 // cache key carries the artifact digest, so a process serving a different
-// model can never replay stale entries.
-func (s *Server) scoreOne(p, k int) []Prediction {
+// model can never replay stale entries. Only unindexed artifacts reach
+// this path; names are resolved at encode time.
+func (s *Server) scoreOne(p, k int) []predict.Ranked {
 	key := s.digest + "|" + strconv.Itoa(p) + "|" + strconv.Itoa(k)
 	if v, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
-		return v.([]Prediction)
+		return v.([]predict.Ranked)
 	}
 	s.met.cacheMisses.Add(1)
 	v, _, shared := s.flight.do(key, func() (any, error) {
 		ranked := predict.TopK(s.scorer.Scores(p), k)
-		preds := make([]Prediction, len(ranked))
-		for i, rk := range ranked {
-			preds[i] = Prediction{
-				Function: rk.Function,
-				Name:     s.art.FunctionNames[rk.Function],
-				Score:    rk.Score,
-			}
-		}
-		s.cache.put(key, preds)
-		return preds, nil
+		s.cache.put(key, ranked)
+		return ranked, nil
 	})
 	if shared {
 		s.met.flightShared.Add(1)
 	}
-	return v.([]Prediction)
+	return v.([]predict.Ranked)
 }
 
 // healthzResponse is the body of /v1/healthz.
@@ -404,9 +490,22 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		w.WriteHeader(http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	s.writeRaw(w, status, append(b, '\n'))
+}
+
+// contentTypeJSON is the shared Content-Type header value: assigning the
+// same backing slice on every response avoids the per-request []string
+// allocation Header().Set would make on the hot path. net/http only reads
+// header values.
+var contentTypeJSON = []string{"application/json"}
+
+// writeRaw writes a pre-encoded JSON body.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h["Content-Type"] = contentTypeJSON
+	}
 	w.WriteHeader(status)
-	b = append(b, '\n')
 	// The client is gone if this write fails; there is nowhere to report.
-	_, _ = w.Write(b)
+	_, _ = w.Write(body)
 }

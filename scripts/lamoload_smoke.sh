@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# lamoload_smoke.sh — end-to-end gate for the serve hot path: build a quick
+# indexed artifact, serve it, drive it with fixed-seed lamoload runs in both
+# loop modes, and assert the handler's allocation budget (0 allocs/op on
+# index hits). With LAMOLOAD_MERGE_INTO=<BENCH_*.json> the closed-loop
+# latency results are also appended to that trajectory snapshot, which is
+# how `make bench-json` lands serve latency beside the microbenchmarks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+addr="127.0.0.1:${LAMOLOAD_SMOKE_PORT:-8078}"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build binaries"
+go build -o "$workdir/lamod" ./cmd/lamod
+go build -o "$workdir/lamoctl" ./cmd/lamoctl
+go build -o "$workdir/lamoload" ./cmd/lamoload
+
+echo "== build indexed artifact"
+"$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "lamoload smoke" \
+    | tee "$workdir/build.log"
+grep -q "indexed (format v2)" "$workdir/build.log"
+
+echo "== serve on $addr"
+"$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$addr" \
+    >"$workdir/lamod.log" 2>&1 &
+pid=$!
+
+up=0
+for _ in $(seq 1 100); do
+    if "$workdir/lamoctl" health -server "http://$addr" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$up" != 1 ]]; then
+    echo "daemon never became healthy" >&2
+    cat "$workdir/lamod.log" >&2
+    exit 1
+fi
+grep -q "index scoring" "$workdir/lamod.log"
+
+echo "== closed-loop load (fixed seed)"
+"$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
+    -n 300 -c 4 -batch 2 -k 5 -seed 1 -out "$workdir/load.json"
+grep -q '"name": "LoadPredict/p50"' "$workdir/load.json"
+grep -q '"name": "LoadPredict/p99"' "$workdir/load.json"
+grep -q '"name": "LoadPredict/throughput"' "$workdir/load.json"
+
+echo "== open-loop load (fixed seed)"
+"$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
+    -n 100 -rate 500 -k 5 -seed 2 -name OpenLoop -out "$workdir/open.json"
+grep -q '"name": "OpenLoop/p99"' "$workdir/open.json"
+
+echo "== served proteins still answered from the index"
+"$workdir/lamoctl" metrics -server "http://$addr" | tee "$workdir/metrics.json"
+grep -q '"index_hits":' "$workdir/metrics.json"
+if grep -q '"index_hits":0,' "$workdir/metrics.json"; then
+    echo "daemon served the load without index hits" >&2
+    exit 1
+fi
+
+if [[ -n "${LAMOLOAD_MERGE_INTO:-}" ]]; then
+    echo "== merge latency results into $LAMOLOAD_MERGE_INTO"
+    "$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
+        -n 500 -c 4 -batch 2 -k 5 -seed 1 -merge-into "$LAMOLOAD_MERGE_INTO"
+fi
+
+echo "== graceful shutdown"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+wait "$pid" || { echo "daemon exited non-zero" >&2; cat "$workdir/lamod.log" >&2; exit 1; }
+pid=""
+
+echo "== allocation budget (index hot path)"
+go test -run '^$' -bench 'BenchmarkHandlerPredictIndexed' -benchtime 200x -benchmem \
+    ./internal/serve | tee "$workdir/bench.log"
+grep 'BenchmarkHandlerPredictIndexed' "$workdir/bench.log" \
+    | grep -qE '[[:space:]]0 allocs/op' \
+    || { echo "index hot path exceeds the 0 allocs/op budget" >&2; exit 1; }
+
+echo "lamoload smoke OK"
