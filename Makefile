@@ -7,14 +7,15 @@ GO ?= go
 # sharded similarity cache and parallel labeler (internal/label), the
 # heap agglomerator driven by batch-parallel rows (internal/cluster), the
 # chunked enumeration / per-network uniqueness fan-outs (internal/motif)
-# on top of the randnet generators, and the serving stack (request
-# handlers over the LRU cache, singleflight group, and atomic counters)
-# plus the artifact codec it loads.
+# on top of the randnet generators, the serving stack (request handlers
+# over the LRU cache, singleflight group, and atomic counters) plus the
+# artifact codec it loads, and the observability layer (lock-free
+# histograms, the access-log ring and its drain goroutine).
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/motif/... ./internal/randnet/... \
-	./internal/serve/... ./internal/artifact/...
+	./internal/serve/... ./internal/artifact/... ./internal/obs/...
 
-.PHONY: all build vet lamovet lint test race bench-smoke bench-json serve-smoke load-smoke ci
+.PHONY: all build vet lamovet lint test race alloc bench-smoke bench-json serve-smoke load-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -41,6 +42,12 @@ test:
 race:
 	$(GO) test -race $(RACEPKGS)
 
+# alloc is the allocation-budget gate: the indexed predict handler must
+# stay 0 allocs/op bare AND with the full observability layer on (trace
+# echo, per-route histograms, access logging through the ring).
+alloc:
+	$(GO) test -run 'TestInstrumentedPredictAllocs|TestPredictHotPathAllocs' -v ./internal/serve
+
 # bench-smoke compiles and executes every benchmark exactly once — a CI
 # guard against benchmark rot, not a measurement.
 bench-smoke:
@@ -65,4 +72,4 @@ serve-smoke:
 load-smoke:
 	./scripts/lamoload_smoke.sh
 
-ci: build lint test race bench-smoke serve-smoke load-smoke
+ci: build lint test race alloc bench-smoke serve-smoke load-smoke

@@ -3,15 +3,21 @@
 //
 // Usage:
 //
-//	lamoctl predict -protein NAME [-protein NAME ...] [-k N] [-server URL]
+//	lamoctl predict -protein NAME [-protein NAME ...] [-k N] [-trace ID] [-server URL]
 //	lamoctl motifs  [-server URL]
 //	lamoctl health  [-server URL]
-//	lamoctl metrics [-server URL]
+//	lamoctl metrics [-ratios] [-server URL]
+//	lamoctl prom    [-server URL]
 //	lamoctl inspect -artifact FILE
 //
 // Network subcommands print the daemon's JSON response verbatim, so output
-// is byte-deterministic whenever the daemon's is. inspect reads an artifact
-// file directly, without a server.
+// is byte-deterministic whenever the daemon's is. metrics -ratios instead
+// derives error/hit rates client-side — from one decoded snapshot, so the
+// numerator and denominator always belong to the same instant. prom prints
+// the Prometheus text exposition. predict -trace attaches an X-Request-Id
+// and verifies the daemon echoes it. inspect reads an artifact file
+// directly, without a server, including any build-stage stats the build
+// recorded.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"lamofinder/internal/artifact"
+	"lamofinder/internal/serve"
 )
 
 func main() {
@@ -34,7 +41,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|inspect> [flags]")
+		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|prom|inspect> [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -45,11 +52,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "health":
 		return runGet(args[1:], "/v1/healthz", stdout, stderr)
 	case "metrics":
-		return runGet(args[1:], "/v1/metrics", stdout, stderr)
+		return runMetrics(args[1:], stdout, stderr)
+	case "prom":
+		return runGet(args[1:], "/metrics", stdout, stderr)
 	case "inspect":
 		return runInspect(args[1:], stdout, stderr)
 	default:
-		errf(stderr, "lamoctl: unknown subcommand %q\n", args[0])
+		errf(stderr, "lamoctl: unknown subcommand %q (want predict, motifs, health, metrics, prom, or inspect)\n", args[0])
 		return 2
 	}
 }
@@ -115,6 +124,64 @@ func runGet(args []string, path string, stdout, stderr io.Writer) int {
 	return fetch(client(*sf.timeout), *sf.server+path, stdout, stderr)
 }
 
+// runMetrics prints /v1/metrics verbatim, or with -ratios derives
+// error/hit rates. All ratios come from ONE decoded snapshot struct, so
+// numerator and denominator are the same point-in-time read — fetching
+// the endpoint twice (or deriving from separately scraped values) can
+// tear: a request landing between the two reads yields rates over
+// mismatched totals, and early versions of this command did exactly that.
+func runMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	ratios := fs.Bool("ratios", false, "derive error/hit rates from a single snapshot instead of printing raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl metrics: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if !*ratios {
+		return fetch(client(*sf.timeout), *sf.server+"/v1/metrics", stdout, stderr)
+	}
+	resp, err := client(*sf.timeout).Get(*sf.server + "/v1/metrics")
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	var snap serve.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: decode metrics: %v\n", err)
+		return 1
+	}
+	_, _ = fmt.Fprintf(stdout, "requests=%d errors=%d error_rate=%s\n",
+		snap.Requests, snap.Errors, ratio(snap.Errors, snap.Requests))
+	_, _ = fmt.Fprintf(stdout, "predictions=%d index_hits=%d index_hit_rate=%s\n",
+		snap.Predictions, snap.IndexHits, ratio(snap.IndexHits, snap.Predictions))
+	_, _ = fmt.Fprintf(stdout, "cache_hits=%d cache_misses=%d cache_hit_rate=%s\n",
+		snap.CacheHits, snap.CacheMisses, ratio(snap.CacheHits, snap.CacheHits+snap.CacheMisses))
+	_, _ = fmt.Fprintf(stdout, "access_log_dropped=%d\n", snap.AccessLogDropped)
+	if lat, ok := snap.Latency["predict"]; ok {
+		_, _ = fmt.Fprintf(stdout, "predict_p50_us=%d predict_p90_us=%d predict_p99_us=%d\n",
+			lat.P50Micros, lat.P90Micros, lat.P99Micros)
+	}
+	return 0
+}
+
+// ratio renders num/den to three decimals, or "-" when the denominator is
+// zero (no observations, not a zero rate).
+func ratio(num, den int64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", float64(num)/float64(den))
+}
+
 // repeatedString collects repeated -protein flags in order.
 type repeatedString []string
 
@@ -131,6 +198,7 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 	var proteins repeatedString
 	fs.Var(&proteins, "protein", "protein name to score (repeatable)")
 	k := fs.Int("k", 0, "top-k functions to return (0 = all)")
+	trace := fs.String("trace", "", "X-Request-Id to attach; the response must echo it")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -154,24 +222,71 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 	if *k > 0 {
 		q.Set("k", fmt.Sprint(*k))
 	}
-	return fetch(client(*sf.timeout), *sf.server+"/v1/predict?"+q.Encode(), stdout, stderr)
+	u := *sf.server + "/v1/predict?" + q.Encode()
+	if *trace == "" {
+		return fetch(client(*sf.timeout), u, stdout, stderr)
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	req.Header.Set("X-Request-Id", *trace)
+	resp, err := client(*sf.timeout).Do(req)
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: read response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, body)
+		return 1
+	}
+	// The daemon echoes valid client IDs so one ID links the client call,
+	// the response and the daemon's access-log line; a mismatch means the
+	// trace is broken (or the ID was invalid and got replaced).
+	if got := resp.Header.Get("X-Request-Id"); got != *trace {
+		errf(stderr, "lamoctl: trace id not echoed: sent %q, got %q\n", *trace, got)
+		return 1
+	}
+	_, _ = stdout.Write(body)
+	return 0
 }
 
 // inspectSummary is lamoctl's offline view of an artifact file.
 type inspectSummary struct {
-	Artifact     string `json:"artifact"`
-	Format       int    `json:"format"`
-	Indexed      bool   `json:"indexed"`
-	Dataset      string `json:"dataset"`
-	Note         string `json:"note,omitempty"`
-	Proteins     int    `json:"proteins"`
-	Interactions int    `json:"interactions"`
-	Functions    int    `json:"functions"`
-	Terms        int    `json:"terms"`
-	BorderTerms  int    `json:"border_terms"`
-	MinDirect    int    `json:"min_direct"`
-	Motifs       int    `json:"motifs"`
-	Coverage     int    `json:"coverage"`
+	Artifact     string        `json:"artifact"`
+	Format       int           `json:"format"`
+	Indexed      bool          `json:"indexed"`
+	Dataset      string        `json:"dataset"`
+	Note         string        `json:"note,omitempty"`
+	Proteins     int           `json:"proteins"`
+	Interactions int           `json:"interactions"`
+	Functions    int           `json:"functions"`
+	Terms        int           `json:"terms"`
+	BorderTerms  int           `json:"border_terms"`
+	MinDirect    int           `json:"min_direct"`
+	Motifs       int           `json:"motifs"`
+	Coverage     int           `json:"coverage"`
+	BuildStats   []inspectStat `json:"build_stats,omitempty"`
+}
+
+// inspectStat is one recorded build stage. Durations are microseconds for
+// consistency with the serving metrics.
+type inspectStat struct {
+	Stage       string `json:"stage"`
+	WallMicros  int64  `json:"wall_micros"`
+	Items       int64  `json:"items"`
+	Workers     int    `json:"workers"`
+	BusyMicros  int64  `json:"busy_micros,omitempty"`
+	UtilPercent int    `json:"util_percent,omitempty"`
 }
 
 func runInspect(args []string, stdout, stderr io.Writer) int {
@@ -204,6 +319,24 @@ func runInspect(args []string, stdout, stderr io.Writer) int {
 	if art.Index != nil {
 		format = artifact.Version
 	}
+	if len(art.Stats) > 0 {
+		format += 2 // v3 = v1 + build stats, v4 = v2 + build stats
+	}
+	stats := make([]inspectStat, 0, len(art.Stats))
+	for _, st := range art.Stats {
+		is := inspectStat{
+			Stage:      st.Name,
+			WallMicros: st.Wall.Microseconds(),
+			Items:      st.Items,
+			Workers:    st.Workers,
+			BusyMicros: st.Busy.Microseconds(),
+		}
+		if st.Busy > 0 && st.Wall > 0 && st.Workers > 0 {
+			is.UtilPercent = int(100 * st.Busy.Nanoseconds() /
+				(st.Wall.Nanoseconds() * int64(st.Workers)))
+		}
+		stats = append(stats, is)
+	}
 	sum := inspectSummary{
 		Artifact:     digest,
 		Format:       format,
@@ -218,6 +351,7 @@ func runInspect(args []string, stdout, stderr io.Writer) int {
 		MinDirect:    art.MinDirect,
 		Motifs:       len(art.Motifs),
 		Coverage:     art.NewScorer().Coverage(),
+		BuildStats:   stats,
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)

@@ -7,9 +7,15 @@
 // Usage:
 //
 //	lamod build -out FILE [-quick] [-proteins N] [-edges M] [-seed S] [-note TEXT]
-//	            [-noindex] [-index-parallelism N]
+//	            [-noindex] [-index-parallelism N] [-stats]
 //	lamod serve -artifact FILE [-addr HOST:PORT] [-parallelism N]
 //	            [-cache N] [-timeout D] [-drain D] [-pprof]
+//	            [-log-level LEVEL] [-log-format json|logfmt] [-access-log-size N]
+//
+// build always traces its pipeline stages (census, uniqueness, labeling,
+// clustering, ranking) into the artifact's build metadata; -stats prints
+// the stage table after the build. serve emits structured access logs to
+// stderr at -log-level info and below (-log-level off disables them).
 //
 // build computes the dense score index by default, so the daemon answers
 // /v1/predict straight from precomputed rankings (format v2); -noindex
@@ -28,6 +34,8 @@ import (
 
 	"lamofinder/internal/artifact"
 	"lamofinder/internal/experiments"
+	"lamofinder/internal/obs"
+	"lamofinder/internal/par"
 	"lamofinder/internal/serve"
 )
 
@@ -59,8 +67,9 @@ func runBuild(args []string) int {
 	edges := fs.Int("edges", 0, "override interaction count (0 = preset)")
 	seed := fs.Int64("seed", 0, "override dataset seed (0 = preset)")
 	note := fs.String("note", "", "free-form note stored in the artifact")
-	noindex := fs.Bool("noindex", false, "skip the score index: smaller v1 artifact, on-demand serving")
+	noindex := fs.Bool("noindex", false, "skip the score index: smaller artifact, on-demand serving")
 	indexWorkers := fs.Int("index-parallelism", 0, "workers building the score index (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print the per-stage build trace after the build")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,7 +101,8 @@ func runBuild(args []string) int {
 	}
 
 	start := time.Now()
-	mined := experiments.MineLabeled(cfg)
+	rec := &obs.StageRecorder{}
+	mined := experiments.MineLabeledTraced(cfg, rec)
 	m := mined.MIPS
 	names := make([]string, len(m.CategoryTerm))
 	for c, ct := range m.CategoryTerm {
@@ -105,8 +115,14 @@ func runBuild(args []string) int {
 		return 1
 	}
 	if !*noindex {
+		st := rec.Start("ranking")
 		art.BuildIndex(*indexWorkers)
+		st.End(int64(art.Graph.N()), par.Workers(*indexWorkers))
 	}
+	// The stage trace rides inside the artifact (format v3/v4) so `lamoctl
+	// inspect` can show where build time went; it is excluded from the
+	// identity digest, so rebuilds of the same model keep one digest.
+	art.Stats = rec.Stages()
 	if err := art.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 		return 1
@@ -116,9 +132,9 @@ func runBuild(args []string) int {
 		fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 		return 1
 	}
-	indexed := "indexed (format v2)"
+	indexed := "indexed (format v4)"
 	if art.Index == nil {
-		indexed = "unindexed (format v1)"
+		indexed = "unindexed (format v3)"
 	}
 	fmt.Printf("wrote %s\n", *out)
 	fmt.Printf("  artifact %s %s\n", digest, indexed)
@@ -127,6 +143,12 @@ func runBuild(args []string) int {
 	fmt.Printf("  mined=%d unique=%d labeled=%d\n",
 		mined.MinedClasses, mined.UniqueMotifs, len(mined.Labeled))
 	fmt.Printf("  [%v]\n", time.Since(start).Round(time.Millisecond))
+	if *stats {
+		if err := rec.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }
 
@@ -139,6 +161,9 @@ func runServe(args []string) int {
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	enablePprof := fs.Bool("pprof", false, "expose /debug/pprof/ (stacks and heap contents; opt-in only)")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	logFormat := fs.String("log-format", "json", "structured log format: json or logfmt")
+	accessLogSize := fs.Int("access-log-size", 0, "access-log ring entries (0 = default); overflow drops, never blocks")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -151,6 +176,22 @@ func runServe(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 2
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 2
+	}
+	var logger *obs.Logger
+	if level < obs.LevelOff {
+		// Access logs go to stderr: stdout stays reserved for the operator
+		// lines the smoke scripts grep.
+		logger = obs.NewLogger(os.Stderr, level, format)
+	}
 	art, err := artifact.LoadFile(*path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
@@ -161,6 +202,9 @@ func runServe(args []string) int {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		EnablePprof:    *enablePprof,
+		Logger:         logger,
+		AccessLogSize:  *accessLogSize,
+		Trace:          obs.NewTraceSource("lamod", 0),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)

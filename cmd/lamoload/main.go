@@ -22,9 +22,14 @@
 // The report encodes each percentile as one benchfmt result
 // (PREFIX/p50 … PREFIX/max, ns_per_op = latency) plus PREFIX/throughput,
 // whose ns_per_op is wall_ns/requests — the reciprocal of requests/sec.
+// After the run it also scrapes the daemon's /v1/metrics and records the
+// server-side predict percentiles as PREFIX/daemon_p50 … daemon_p99, so
+// the trajectory carries both sides of the wire: the gap between client
+// and daemon percentiles is network plus queueing, not scoring.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +46,7 @@ import (
 
 	"lamofinder/internal/artifact"
 	"lamofinder/internal/benchfmt"
+	"lamofinder/internal/serve"
 )
 
 func main() {
@@ -143,6 +149,19 @@ func run(args []string, stderr io.Writer) int {
 		percentile(lat, 0.99).Round(time.Microsecond),
 		lat[len(lat)-1].Round(time.Microsecond))
 
+	daemon, err := daemonResults(client, *server, *name)
+	if err != nil {
+		errf(stderr, "lamoload: daemon metrics: %v\n", err)
+		return 1
+	}
+	if daemon == nil {
+		errf(stderr, "lamoload: daemon reports no predict latency; skipping daemon_* results\n")
+	} else {
+		errf(stderr, "lamoload: daemon-side predict p50=%dµs p90=%dµs p99=%dµs\n",
+			int64(daemon[0].NsPerOp)/1e3, int64(daemon[1].NsPerOp)/1e3, int64(daemon[2].NsPerOp)/1e3)
+		results = append(results, daemon...)
+	}
+
 	command := "lamoload " + strings.Join(args, " ")
 	if *mergeInto != "" {
 		if err := benchfmt.MergeFile(*mergeInto, command, results); err != nil {
@@ -185,6 +204,42 @@ func checkServedArtifact(client *http.Client, server, digest string) error {
 		return fmt.Errorf("daemon serves a different artifact than %s (want %s): %s", server, digest, body)
 	}
 	return nil
+}
+
+// daemonResults scrapes /v1/metrics once and renders the daemon's own
+// predict-route percentiles as benchfmt results. These come from the
+// daemon's power-of-two histogram, so they are upper bounds with one
+// bucket of resolution — coarser than the client-side order statistics,
+// but free of network and client-scheduling noise. Returns nil (no error)
+// when the daemon has no predict observations to report.
+func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Result, error) {
+	resp, err := client.Get(server + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	var snap serve.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	lat, ok := snap.Latency["predict"]
+	if !ok || lat.Count == 0 {
+		return nil, nil
+	}
+	res := func(suffix string, micros int64) benchfmt.Result {
+		return benchfmt.Result{
+			Name: prefix + "/daemon_" + suffix, Procs: 1,
+			Iterations: lat.Count, NsPerOp: float64(micros) * 1e3,
+		}
+	}
+	return []benchfmt.Result{
+		res("p50", lat.P50Micros),
+		res("p90", lat.P90Micros),
+		res("p99", lat.P99Micros),
+	}, nil
 }
 
 // requestStream precomputes the n query URLs. Everything that varies is

@@ -78,7 +78,11 @@ func TestClosedLoopRun(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"LoadPredict/p50", "LoadPredict/p90", "LoadPredict/p99", "LoadPredict/max", "LoadPredict/throughput"}
+	want := []string{
+		"LoadPredict/p50", "LoadPredict/p90", "LoadPredict/p99", "LoadPredict/max",
+		"LoadPredict/throughput",
+		"LoadPredict/daemon_p50", "LoadPredict/daemon_p90", "LoadPredict/daemon_p99",
+	}
 	if len(snap.Results) != len(want) {
 		t.Fatalf("results: %+v", snap.Results)
 	}
@@ -124,8 +128,11 @@ func TestOpenLoopAndMerge(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Results) != 6 || snap.Results[0].Name != "BenchmarkX" || snap.Results[1].Name != "OpenLoop/p50" {
+	if len(snap.Results) != 9 || snap.Results[0].Name != "BenchmarkX" || snap.Results[1].Name != "OpenLoop/p50" {
 		t.Fatalf("merged results: %+v", snap.Results)
+	}
+	if snap.Results[6].Name != "OpenLoop/daemon_p50" || snap.Results[6].Iterations != 40 {
+		t.Fatalf("daemon-side results missing or wrong: %+v", snap.Results[6])
 	}
 	if !strings.Contains(snap.Command, "go test; lamoload") {
 		t.Fatalf("merged command: %q", snap.Command)

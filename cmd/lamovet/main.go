@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lamovet [-rules determinism,mapiter,floateq,errdrop,nopanic,nohttpglobals] [-list] [patterns...]
+//	lamovet [-rules determinism,mapiter,floateq,errdrop,nopanic,nohttpglobals,noadhoclog] [-list] [patterns...]
 //
 // Patterns follow the go tool ("./...", "./internal/graph"); with no
 // patterns the whole module is analyzed. Exit status is 1 if any analyzer

@@ -23,6 +23,9 @@
 //   - nohttpglobals: forbid net/http's process-global mux and client
 //     (DefaultServeMux, DefaultClient, and the helpers that consume them)
 //     in the serving package and the command binaries.
+//   - noadhoclog: forbid fmt.Print*, log.Print* (global logger), and the
+//     println/print builtins in internal/ packages outside internal/obs;
+//     libraries log through an injected *obs.Logger, commands own stdout.
 //
 // The suite is stdlib-only (go/ast, go/parser, go/token, go/types): the
 // repo stays dependency-free, so the driver ships its own package loader
@@ -93,6 +96,7 @@ func All() []*Analyzer {
 		ErrDrop(),
 		NoPanic(),
 		NoHTTPGlobals(),
+		NoAdhocLog(),
 	}
 }
 

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoAdhocLog returns the analyzer forbidding ad-hoc output — fmt.Print*,
+// log.Print* through the process-global logger, and the println/print
+// builtins — in library packages. A library that writes to process stdout
+// or stderr on its own bypasses the structured logging contract: its lines
+// carry no level, no trace ID, and no machine-parseable shape, and they
+// interleave unpredictably with the access-log stream. Libraries return
+// data (or errors) and log through an injected *obs.Logger; only the
+// command binaries own the process streams. internal/obs itself is exempt
+// — it is the sink the rule points everyone else at.
+func NoAdhocLog() *Analyzer {
+	return &Analyzer{
+		Name: "noadhoclog",
+		Doc:  "forbid fmt.Print*/log.Print*/println in internal/ packages outside internal/obs",
+		Run:  runNoAdhocLog,
+	}
+}
+
+func runNoAdhocLog(pass *Pass) {
+	rel, ok := relPath(pass.Path)
+	if !ok || !strings.HasPrefix(rel, "internal/") {
+		return
+	}
+	if rel == "internal/obs" || strings.HasPrefix(rel, "internal/obs/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				// Only package-level fmt/log functions: Fprintf to an
+				// injected writer and methods on an explicitly constructed
+				// log.New logger are the sanctioned patterns.
+				obj, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				name := obj.Name()
+				if name != "Print" && name != "Printf" && name != "Println" {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "fmt":
+					pass.Reportf(call.Pos(),
+						"fmt.%s writes to process stdout from a library package; return data or log through an injected *obs.Logger", name)
+				case "log":
+					pass.Reportf(call.Pos(),
+						"log.%s writes through the process-global logger; inject an *obs.Logger (or a log.New on an explicit writer)", name)
+				}
+			case *ast.Ident:
+				if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok &&
+					(b.Name() == "println" || b.Name() == "print") {
+					pass.Reportf(call.Pos(),
+						"builtin %s is unstructured debug output to stderr; delete it or log through an injected *obs.Logger", b.Name())
+				}
+			}
+			return true
+		})
+	}
+}

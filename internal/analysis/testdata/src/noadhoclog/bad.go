@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+// BadStdout narrates progress straight to process stdout: the lines carry
+// no level or trace ID and interleave with whatever the binary prints.
+func BadStdout(n int) {
+	fmt.Println("processed", n) // want
+	fmt.Printf("count=%d\n", n) // want
+	fmt.Print("done")           // want
+}
+
+// BadGlobalLogger writes through log's process-global logger, whose
+// destination and flags belong to whoever touched it last.
+func BadGlobalLogger(err error) {
+	log.Println("warning:", err) // want
+	log.Printf("warn: %v", err)  // want
+	log.Print("warn")            // want
+}
+
+// BadBuiltins are leftover debug prints to stderr.
+func BadBuiltins(n int) {
+	println("debug", n) // want
+	print("debug")      // want
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// GoodWriterDirected renders to an injected writer: the caller owns the
+// destination, so nothing leaks to the process streams.
+func GoodWriterDirected(w io.Writer, n int) error {
+	if _, err := fmt.Fprintf(w, "count=%d\n", n); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "done")
+	return err
+}
+
+// GoodFormatting only builds strings and errors — no output side effects.
+func GoodFormatting(n int) error {
+	return fmt.Errorf("bad input %s", fmt.Sprintf("n=%d", n))
+}
+
+// GoodExplicitLogger logs through an instance bound to an explicit writer;
+// its Printf is a method, not the package-level global.
+func GoodExplicitLogger(w io.Writer, n int) {
+	l := log.New(w, "", 0)
+	l.Printf("count=%d", n)
+}

@@ -20,6 +20,7 @@ import (
 
 	"lamofinder/internal/graph"
 	"lamofinder/internal/label"
+	"lamofinder/internal/obs"
 	"lamofinder/internal/ontology"
 	"lamofinder/internal/predict"
 )
@@ -61,7 +62,14 @@ type Artifact struct {
 	// and the daemon scores on demand.
 	Index *ScoreIndex
 
-	digest string // hex SHA-256 of the encoded form, cached by Encode/Load
+	// Stats optionally records per-stage build telemetry (wall time, item
+	// counts, worker utilization) from the mining pipeline. Stats are
+	// stored after the payload (format versions 3/4) and excluded from the
+	// identity digest, so two builds of the same model keep one digest
+	// regardless of how long each stage took.
+	Stats []obs.StageStat
+
+	digest string // hex SHA-256 of header+payload, cached by Encode/Load
 }
 
 // Build assembles and validates an artifact from pipeline outputs. direct

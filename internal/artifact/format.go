@@ -7,32 +7,43 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"lamofinder/internal/graph"
 	"lamofinder/internal/label"
+	"lamofinder/internal/obs"
 	"lamofinder/internal/ontology"
 )
 
 // On-disk layout (all integers little-endian):
 //
 //	offset 0   magic   "LAMOART\n" (8 bytes)
-//	offset 8   version uint32 (1 or 2)
+//	offset 8   version uint32 (1, 2, 3 or 4)
 //	offset 12  plen    uint64 — payload length
 //	offset 20  payload plen bytes, canonical encoding of the Artifact
-//	offset 20+plen     SHA-256 digest of bytes [0, 20+plen)
+//	offset 20+plen     [versions 3/4 only] build-stats section
+//	trailing 32 bytes  SHA-256 digest of every preceding byte
 //
 // A version-2 payload is the version-1 payload followed by the score-index
 // section (see index.go): the dense protein×function score matrix and the
-// per-protein full rankings precomputed at build time. Encode emits
-// version 1 when the artifact carries no index and version 2 when it does,
-// so every model still has exactly one canonical byte form and
-// save→load→save stays byte-identical in both formats.
+// per-protein full rankings precomputed at build time. Versions 3 and 4
+// are versions 1 and 2 with a build-stats section (per-stage wall time,
+// item counts and worker utilization from the mining pipeline) appended
+// after the payload. Encode picks the lowest version that represents the
+// artifact — index and stats each bump it — so every model still has
+// exactly one canonical byte form and save→load→save stays byte-identical
+// in all four formats.
 //
 // The payload encoding is a pure function of the Artifact's contents —
 // every list is written in its canonical in-memory order (adjacency and
 // annotation lists are kept sorted by their owners) and no map is ever
 // iterated — so identical models produce identical bytes, and the digest
-// doubles as a model identity for caches and client pinning.
+// doubles as a model identity for caches and client pinning. Build stats
+// carry wall-clock measurements that differ between otherwise identical
+// builds, so the identity digest is computed over header+payload only
+// (for versions 1 and 2 that is exactly the stored trailer, preserving
+// historical digests); the trailer still covers the stats section, so
+// tampering with stats is detected even though it cannot change identity.
 
 // Magic identifies a lamod artifact file.
 const Magic = "LAMOART\n"
@@ -40,9 +51,16 @@ const Magic = "LAMOART\n"
 // Version1 is the unindexed format: model payload only.
 const Version1 = 1
 
-// Version is the current format version, written for artifacts carrying a
-// score index. Load accepts Version1 and Version, nothing else.
+// Version is the indexed format, written for artifacts carrying a score
+// index but no build stats.
 const Version = 2
+
+// Version3 and Version4 mirror versions 1 and 2 with a build-stats
+// section appended after the payload. Load accepts versions 1-4.
+const (
+	Version3 = 3
+	Version4 = 4
+)
 
 const headerLen = len(Magic) + 4 + 8
 
@@ -52,7 +70,7 @@ const headerLen = len(Magic) + 4 + 8
 const maxCount = 1 << 28
 
 // Encode renders the artifact to its canonical byte form (header, payload,
-// digest) and caches the digest.
+// optional stats section, digest) and caches the identity digest.
 func (a *Artifact) Encode() ([]byte, error) {
 	e := &enc{}
 	if err := a.encodePayload(e); err != nil {
@@ -65,14 +83,25 @@ func (a *Artifact) Encode() ([]byte, error) {
 			return nil, err
 		}
 	}
+	if len(a.Stats) > 0 {
+		version += 2 // 1→3, 2→4
+	}
 	out := make([]byte, 0, headerLen+len(e.buf)+sha256.Size)
 	out = append(out, Magic...)
 	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(e.buf)))
 	out = append(out, e.buf...)
+	// Identity stops at the payload: stats carry wall-clock noise that must
+	// not distinguish otherwise identical models.
+	id := sha256.Sum256(out)
+	a.digest = hex.EncodeToString(id[:])
+	if len(a.Stats) > 0 {
+		se := &enc{}
+		encodeStats(se, a.Stats)
+		out = append(out, se.buf...)
+	}
 	sum := sha256.Sum256(out)
 	out = append(out, sum[:]...)
-	a.digest = hex.EncodeToString(sum[:])
 	return out, nil
 }
 
@@ -106,16 +135,22 @@ func Decode(b []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("artifact: not a lamod artifact (bad magic)")
 	}
 	version := binary.LittleEndian.Uint32(b[len(Magic):])
-	if version != Version1 && version != Version {
-		return nil, fmt.Errorf("artifact: format version %d, this build reads versions %d and %d", version, Version1, Version)
+	if version < Version1 || version > Version4 {
+		return nil, fmt.Errorf("artifact: format version %d, this build reads versions %d-%d", version, Version1, Version4)
 	}
+	hasStats := version >= Version3
+	hasIndex := version == Version || version == Version4
+	body := uint64(len(b) - headerLen - sha256.Size)
 	plen := binary.LittleEndian.Uint64(b[len(Magic)+4:])
-	if plen != uint64(len(b)-headerLen-sha256.Size) {
+	if hasStats && plen >= body {
+		return nil, fmt.Errorf("artifact: payload length %d leaves no stats section in %d-byte file", plen, len(b))
+	}
+	if !hasStats && plen != body {
 		return nil, fmt.Errorf("artifact: payload length %d does not match file size %d", plen, len(b))
 	}
-	sum := sha256.Sum256(b[:headerLen+int(plen)])
+	sum := sha256.Sum256(b[:len(b)-sha256.Size])
 	var stored [sha256.Size]byte
-	copy(stored[:], b[headerLen+int(plen):])
+	copy(stored[:], b[len(b)-sha256.Size:])
 	if sum != stored {
 		return nil, fmt.Errorf("artifact: digest mismatch — file corrupt or tampered")
 	}
@@ -124,7 +159,7 @@ func Decode(b []byte) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version == Version {
+	if hasIndex {
 		ix, err := decodeIndex(d, a)
 		if err != nil {
 			return nil, err
@@ -134,7 +169,18 @@ func Decode(b []byte) (*Artifact, error) {
 	if d.off != len(d.b) {
 		return nil, fmt.Errorf("artifact: %d trailing payload bytes", len(d.b)-d.off)
 	}
-	a.digest = hex.EncodeToString(sum[:])
+	if hasStats {
+		sd := &dec{b: b[headerLen+int(plen) : len(b)-sha256.Size]}
+		a.Stats, err = decodeStats(sd)
+		if err != nil {
+			return nil, err
+		}
+		if sd.off != len(sd.b) {
+			return nil, fmt.Errorf("artifact: %d trailing stats bytes", len(sd.b)-sd.off)
+		}
+	}
+	id := sha256.Sum256(b[:headerLen+int(plen)])
+	a.digest = hex.EncodeToString(id[:])
 	return a, nil
 }
 
@@ -394,11 +440,49 @@ func decodePayload(d *dec) (*Artifact, error) {
 	return a, nil
 }
 
+// encodeStats renders the build-stats section: stage count, then per
+// stage its name, wall and busy nanoseconds, item count and worker count.
+func encodeStats(e *enc, stats []obs.StageStat) {
+	e.u32(uint32(len(stats)))
+	for _, s := range stats {
+		e.str(s.Name)
+		e.u64(uint64(s.Wall.Nanoseconds()))
+		e.u64(uint64(s.Items))
+		e.u32(uint32(s.Workers))
+		e.u64(uint64(s.Busy.Nanoseconds()))
+	}
+}
+
+// statMinWidth is the smallest possible encoded stage: empty name (4-byte
+// length) + wall + items + workers + busy.
+const statMinWidth = 4 + 8 + 8 + 4 + 8
+
+func decodeStats(d *dec) ([]obs.StageStat, error) {
+	c := d.count(statMinWidth)
+	stats := make([]obs.StageStat, 0, c)
+	for i := 0; i < c && d.err == nil; i++ {
+		var s obs.StageStat
+		s.Name = d.str()
+		s.Wall = time.Duration(d.u64())
+		s.Items = int64(d.u64())
+		s.Workers = int(d.u32())
+		s.Busy = time.Duration(d.u64())
+		if d.err == nil {
+			stats = append(stats, s)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return stats, nil
+}
+
 // enc is a little-endian append-only payload encoder.
 type enc struct{ buf []byte }
 
 func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
 func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *enc) f64(v float64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
 }
@@ -448,6 +532,14 @@ func (d *dec) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *dec) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
 }
 
 func (d *dec) f64() float64 {

@@ -1,0 +1,218 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"lamofinder/internal/obs"
+)
+
+func testStats() []obs.StageStat {
+	return []obs.StageStat{
+		{Name: "census", Wall: 120 * time.Millisecond, Items: 152, Workers: 4},
+		{Name: "uniqueness", Wall: 40 * time.Millisecond, Items: 31, Workers: 4},
+		{Name: "labeling", Wall: 800 * time.Millisecond, Items: 31, Workers: 4, Busy: 2400 * time.Millisecond},
+		{Name: "clustering", Wall: 2100 * time.Millisecond, Items: 1840, Workers: 4},
+	}
+}
+
+// TestStatsRoundTrip covers both stats-carrying formats: version 3
+// (unindexed) and version 4 (indexed). Stats must survive
+// save→load→save byte-identically.
+func TestStatsRoundTrip(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		a := testArtifact(t)
+		if indexed {
+			a.BuildIndex(2)
+		}
+		a.Stats = testStats()
+		first, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint32(Version3)
+		if indexed {
+			want = Version4
+		}
+		if v := fileVersion(first); v != want {
+			t.Fatalf("indexed=%v encoded as version %d, want %d", indexed, v, want)
+		}
+		loaded, err := Decode(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loaded.Stats) != len(a.Stats) {
+			t.Fatalf("loaded %d stages, want %d", len(loaded.Stats), len(a.Stats))
+		}
+		for i, s := range loaded.Stats {
+			if s != a.Stats[i] {
+				t.Fatalf("stage %d = %+v, want %+v", i, s, a.Stats[i])
+			}
+		}
+		if indexed && loaded.Index == nil {
+			t.Fatal("index lost on stats-carrying artifact")
+		}
+		second, err := loaded.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("save→load→save not byte-identical with stats (indexed=%v)", indexed)
+		}
+	}
+}
+
+// TestStatsExcludedFromIdentity is the determinism property the layout was
+// designed for: two builds of the same model whose stages took different
+// wall times must report the same digest, and dropping the stats entirely
+// only changes the digest through the version field, never the payload.
+func TestStatsExcludedFromIdentity(t *testing.T) {
+	a := testArtifact(t)
+	a.Stats = testStats()
+	d1, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := testArtifact(t)
+	b.Stats = []obs.StageStat{{Name: "census", Wall: 987 * time.Millisecond, Items: 152, Workers: 8}}
+	d2, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("wall-time noise changed model identity: %s vs %s", d1, d2)
+	}
+
+	// A loaded stats-carrying artifact reports the same identity it was
+	// encoded with.
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := loaded.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld != d1 {
+		t.Fatalf("loaded identity %s, encoded identity %s", ld, d1)
+	}
+}
+
+// TestStatsTamperDetected: the identity digest excludes stats, but the
+// file trailer does not — flipping any stats byte must be rejected.
+func TestStatsTamperDetected(t *testing.T) {
+	a := testArtifact(t)
+	a.Stats = testStats()
+	good, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plen := binary.LittleEndian.Uint64(good[len(Magic)+4:])
+	statsStart := headerLen + int(plen)
+	statsEnd := len(good) - 32
+	if statsStart >= statsEnd {
+		t.Fatalf("no stats section in encoded bytes (plen=%d len=%d)", plen, len(good))
+	}
+	for off := statsStart; off < statsEnd; off += 3 {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x20
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("accepted artifact with tampered stats byte at offset %d", off)
+		}
+	}
+}
+
+// TestStatsEmptyKeepsLegacyFormat: artifacts without stats must emit
+// exactly the historical version 1/2 bytes, so PR 3/4 artifacts and their
+// digests are untouched.
+func TestStatsEmptyKeepsLegacyFormat(t *testing.T) {
+	a := testArtifact(t)
+	if v := mustEncodeVersion(t, a); v != Version1 {
+		t.Fatalf("plain artifact encoded as version %d", v)
+	}
+	a.BuildIndex(1)
+	if v := mustEncodeVersion(t, a); v != Version {
+		t.Fatalf("indexed artifact encoded as version %d", v)
+	}
+
+	// Stats set then cleared: bytes identical to never having stats.
+	b := testArtifact(t)
+	withNever, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testArtifact(t)
+	c.Stats = testStats()
+	if _, err := c.Encode(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stats = nil
+	withCleared, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withNever, withCleared) {
+		t.Fatal("clearing stats does not restore the legacy byte form")
+	}
+}
+
+func mustEncodeVersion(t *testing.T, a *Artifact) uint32 {
+	t.Helper()
+	b, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fileVersion(b)
+}
+
+// TestStatsSectionValidation exercises the stats decoder's bounds checks
+// directly: a truncated or oversized stats section must be refused even
+// when the trailer is recomputed to match.
+func TestStatsSectionValidation(t *testing.T) {
+	a := testArtifact(t)
+	a.Stats = testStats()
+	good, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plen := binary.LittleEndian.Uint64(good[len(Magic)+4:])
+	statsStart := headerLen + int(plen)
+
+	// Truncate the stats section mid-stage and re-seal the trailer.
+	trunc := append([]byte(nil), good[:len(good)-32-10]...)
+	trunc = seal(trunc)
+	if _, err := Decode(trunc); err == nil {
+		t.Fatal("accepted truncated stats section")
+	}
+
+	// Inflate the declared stage count and re-seal.
+	inflated := append([]byte(nil), good[:len(good)-32]...)
+	binary.LittleEndian.PutUint32(inflated[statsStart:], 1<<30)
+	inflated = seal(inflated)
+	if _, err := Decode(inflated); err == nil {
+		t.Fatal("accepted stats section with runaway stage count")
+	}
+
+	// A version-3 file whose plen swallows the whole body leaves no room
+	// for stats at all.
+	nostats := append([]byte(nil), good[:statsStart]...)
+	nostats = seal(nostats)
+	if _, err := Decode(nostats); err == nil {
+		t.Fatal("accepted stats-version file with empty stats section")
+	}
+}
+
+// seal appends a fresh SHA-256 trailer so validation tests reach the
+// structural checks behind the digest gate.
+func seal(b []byte) []byte {
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}

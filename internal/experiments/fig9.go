@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"time"
 
 	"lamofinder/internal/dataset"
 	"lamofinder/internal/eval"
 	"lamofinder/internal/label"
 	"lamofinder/internal/motif"
+	"lamofinder/internal/obs"
 	"lamofinder/internal/par"
 	"lamofinder/internal/predict"
 )
@@ -103,15 +105,43 @@ type Mined struct {
 // functional-catalogue GO corpus — everything Figure 9 does before scoring,
 // and everything `lamod build` packages into a serving artifact.
 func MineLabeled(cfg Figure9Config) *Mined {
+	return MineLabeledTraced(cfg, nil)
+}
+
+// MineLabeledTraced is MineLabeled with per-stage telemetry: census
+// (motif mining), uniqueness (null-model scoring and filtering), labeling
+// (LaMoFinder over the unique motifs) and clustering (the cumulative
+// worker-busy agglomeration time inside labeling, so its wall column is
+// summed across workers and can exceed the labeling stage's). A nil
+// recorder disables all timing, including the clustering clock injected
+// into the labeler.
+func MineLabeledTraced(cfg Figure9Config, rec *obs.StageRecorder) *Mined {
 	m := dataset.NewMIPS(cfg.MIPS)
 	net := m.Task.Network
 
+	st := rec.Start("census")
 	mined := motif.Find(net, cfg.Mine)
+	st.End(int64(len(mined)), 1) // the level-wise miner is serial
+
+	st = rec.Start("uniqueness")
 	motif.ScoreUniqueness(net, mined, cfg.Null)
 	unique := motif.FilterUnique(mined, cfg.MinUniqueness)
+	st.End(int64(len(unique)), par.Workers(cfg.Null.Parallelism))
 
+	if rec != nil {
+		// The labeling core sits in the determinism scope where wall-clock
+		// reads are forbidden, so tracing injects the clock from here.
+		cfg.Label.Now = time.Now
+	}
 	labeler := label.NewLabeler(m.Corpus, cfg.Label)
+	st = rec.Start("labeling")
 	labeled := labeler.LabelAll(unique)
+	workers := par.Workers(cfg.Label.Parallelism)
+	busy, occs := labeler.ClusterStats()
+	st.EndWithBusy(int64(len(labeled)), workers, busy)
+	if rec != nil {
+		rec.Record(obs.StageStat{Name: "clustering", Wall: busy, Items: occs, Workers: workers})
+	}
 	return &Mined{
 		MIPS:         m,
 		Labeled:      labeled,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"lamofinder/internal/cluster"
 	"lamofinder/internal/graph"
@@ -41,6 +43,14 @@ type Config struct {
 	// index-addressed slots and merge order is a deterministic function of
 	// the similarity values (see DESIGN.md, "Parallel architecture").
 	Parallelism int
+	// Now, when set, enables clustering telemetry: each LabelOccurrences
+	// call brackets its agglomeration with this clock and accumulates the
+	// busy time readable via ClusterStats. The clock is injected rather
+	// than read from time.Now because the labeling core is in the
+	// determinism scope (lamovet forbids wall-clock reads there); timing
+	// never influences output, only the reported stats. Nil disables
+	// telemetry at zero cost.
+	Now func() time.Time
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -98,6 +108,11 @@ type Labeler struct {
 	space    []bool // term usable as a label (border FC or descendant)
 	atBorder []bool // term at or above the border frontier (maximally general)
 	cfg      Config
+
+	// Clustering telemetry, accumulated only when cfg.Now is set. Atomics
+	// because LabelAll clusters motifs concurrently.
+	clusterNanos atomic.Int64
+	clusterOccs  atomic.Int64
 }
 
 // NewLabeler prepares a labeler: weights, border informative FC and the
@@ -133,6 +148,14 @@ func NewLabelerWithCounts(corpus *ontology.Corpus, direct []int, cfg Config) *La
 
 // Weights exposes the genome-specific term weights in use.
 func (l *Labeler) Weights() ontology.Weights { return l.w }
+
+// ClusterStats returns the cumulative agglomeration telemetry: summed
+// per-motif clustering time (across all workers, so it can exceed wall
+// time) and the total occurrences clustered. Both are zero unless
+// Config.Now was set.
+func (l *Labeler) ClusterStats() (busy time.Duration, occurrences int64) {
+	return time.Duration(l.clusterNanos.Load()), l.clusterOccs.Load()
+}
 
 // Sim exposes the memoized similarity calculator.
 func (l *Labeler) Sim() *Sim { return l.sim }
@@ -257,7 +280,15 @@ func (l *Labeler) LabelOccurrences(nv int, occurrences [][]int32, sym *Symmetry)
 	for i := range ids {
 		ids[i] = i
 	}
+	var t0 time.Time
+	if l.cfg.Now != nil {
+		t0 = l.cfg.Now()
+	}
 	live := ag.Run(ids)
+	if l.cfg.Now != nil {
+		l.clusterNanos.Add(l.cfg.Now().Sub(t0).Nanoseconds())
+		l.clusterOccs.Add(int64(len(occs)))
+	}
 
 	// Emit clusters meeting the frequency threshold (Algorithm 1 line 15).
 	// Root-weight labels (w = 1) carry no information and are stripped from

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket mapping at every power-of-two
+// boundary: bucket i covers (2^(i-1), 2^i] microseconds, bucket 0 holds
+// everything at or below 1µs, and overflow clamps to the last bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{
+		{0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{1024, 10}, {1025, 11},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{1 << (NumBuckets - 1), NumBuckets - 1},
+		{1 << (NumBuckets + 2), NumBuckets - 1}, // overflow clamps
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.us); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.us, got, c.want)
+		}
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		lo, hi := BucketBound(i-1)+1, BucketBound(i)
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Errorf("bucket %d does not cover (%d, %d]", i, lo-1, hi)
+		}
+	}
+}
+
+func TestHistogramRecordAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.RecordMicros(1)
+	h.RecordMicros(3)
+	h.RecordMicros(100)
+	h.Record(2 * time.Millisecond)
+	h.Record(-5 * time.Second) // clock step clamps to zero
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.SumMicros != 1+3+100+2000+0 {
+		t.Fatalf("sum = %d", s.SumMicros)
+	}
+	if s.Buckets[0] != 2 { // 1µs and the clamped negative
+		t.Fatalf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.RecordMicros(10)
+	a.RecordMicros(100)
+	b.RecordMicros(1000)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 || s.SumMicros != 1110 {
+		t.Fatalf("merged count=%d sum=%d", s.Count, s.SumMicros)
+	}
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("merged buckets sum to %d", total)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from many goroutines; under
+// -race (the obs package is in the race scope) this doubles as the
+// lock-free-record race test, and in any build the final count must be
+// exact because every increment is atomic.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.RecordMicros(rng.Int63n(1 << 22))
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("buckets sum to %d, count is %d", total, s.Count)
+	}
+}
+
+// TestQuantileWithinOneBucket is the property test of the ISSUE: for
+// seeded random workloads, the histogram-derived p50/p90/p99 must land
+// within one power-of-two bucket of the exact sorted-sample quantile.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(5000)
+		var h Histogram
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix of tight and heavy-tailed latencies.
+			us := rng.Int63n(1 << uint(4+rng.Intn(18)))
+			samples[i] = us
+			h.RecordMicros(us)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0.50, 0.90, 0.99} {
+			rank := int(q*float64(n) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := samples[rank-1]
+			derived := s.Quantile(q)
+			lo, hi := bucketIndex(exact), bucketIndex(derived)
+			diff := hi - lo
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1 {
+				t.Fatalf("seed %d n %d q %.2f: derived %dµs (bucket %d) vs exact %dµs (bucket %d)",
+					seed, n, q, derived, hi, exact, lo)
+			}
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. LevelOff disables every message.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+// ParseLevel reads a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("unknown log level %q (want debug, info, warn, error, or off)", s)
+}
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// Format selects the line encoding.
+type Format int8
+
+const (
+	FormatJSON Format = iota
+	FormatLogfmt
+)
+
+// ParseFormat reads a -log-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "logfmt":
+		return FormatLogfmt, nil
+	}
+	return FormatJSON, fmt.Errorf("unknown log format %q (want json or logfmt)", s)
+}
+
+// Field is one key/value pair of a structured log line. Construct fields
+// with String/Int64/Dur so the encoder never reflects.
+type Field struct {
+	Key  string
+	str  string
+	num  int64
+	kind uint8 // 0 = string, 1 = int64, 2 = duration-in-µs
+}
+
+// String builds a string-valued field.
+func String(k, v string) Field { return Field{Key: k, str: v} }
+
+// Int64 builds an integer-valued field.
+func Int64(k string, v int64) Field { return Field{Key: k, num: v, kind: 1} }
+
+// Dur builds a duration field, encoded as integer microseconds.
+func Dur(k string, d time.Duration) Field { return Field{Key: k, num: d.Microseconds(), kind: 2} }
+
+// Logger writes leveled structured lines (one per call) to a single
+// writer. Lines are encoded into pooled buffers and written under one
+// mutex, so concurrent goroutines never interleave bytes. A nil *Logger is
+// a valid no-op logger, which lets call sites skip nil checks.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+	pool   sync.Pool
+	// now is the timestamp source; tests pin it for deterministic lines.
+	now func() time.Time
+}
+
+// NewLogger builds a logger. w must tolerate concurrent Write calls being
+// serialized by the logger's mutex (os.File and bytes.Buffer both do).
+func NewLogger(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{
+		w:      w,
+		level:  level,
+		format: format,
+		pool:   sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }},
+		now:    time.Now,
+	}
+}
+
+// SetClock replaces the timestamp source (tests only).
+func (l *Logger) SetClock(now func() time.Time) { l.now = now }
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level && l.level != LevelOff }
+
+// Debug, Info, Warn and Error emit one structured line at their level.
+func (l *Logger) Debug(msg string, fields ...Field) { l.emit(LevelDebug, msg, fields) }
+func (l *Logger) Info(msg string, fields ...Field)  { l.emit(LevelInfo, msg, fields) }
+func (l *Logger) Warn(msg string, fields ...Field)  { l.emit(LevelWarn, msg, fields) }
+func (l *Logger) Error(msg string, fields ...Field) { l.emit(LevelError, msg, fields) }
+
+func (l *Logger) emit(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	bp := l.pool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = l.head(buf, lv, msg)
+	for _, f := range fields {
+		buf = l.field(buf, f)
+	}
+	buf = append(buf, l.tail()...)
+	l.write(buf)
+	*bp = buf[:0]
+	l.pool.Put(bp)
+}
+
+// head opens a line: timestamp, level, msg.
+func (l *Logger) head(buf []byte, lv Level, msg string) []byte {
+	ts := l.now().UTC()
+	if l.format == FormatJSON {
+		buf = append(buf, `{"ts":"`...)
+		buf = ts.AppendFormat(buf, time.RFC3339Nano)
+		buf = append(buf, `","level":"`...)
+		buf = append(buf, lv.String()...)
+		buf = append(buf, `","msg":`...)
+		buf = appendQuoted(buf, msg)
+		return buf
+	}
+	buf = append(buf, "ts="...)
+	buf = ts.AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, " level="...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, " msg="...)
+	buf = appendLogfmtValue(buf, msg)
+	return buf
+}
+
+func (l *Logger) field(buf []byte, f Field) []byte {
+	if l.format == FormatJSON {
+		buf = append(buf, ',')
+		buf = appendQuoted(buf, f.Key)
+		buf = append(buf, ':')
+		switch f.kind {
+		case 0:
+			buf = appendQuoted(buf, f.str)
+		default:
+			buf = strconv.AppendInt(buf, f.num, 10)
+		}
+		return buf
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, f.Key...)
+	buf = append(buf, '=')
+	switch f.kind {
+	case 0:
+		buf = appendLogfmtValue(buf, f.str)
+	default:
+		buf = strconv.AppendInt(buf, f.num, 10)
+	}
+	return buf
+}
+
+func (l *Logger) tail() string {
+	if l.format == FormatJSON {
+		return "}\n"
+	}
+	return "\n"
+}
+
+func (l *Logger) write(buf []byte) {
+	l.mu.Lock()
+	// A failed log write has nowhere to be reported; the next line retries.
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+const logHex = "0123456789abcdef"
+
+// appendQuoted appends s as a JSON string. Only the escapes a JSON parser
+// requires (quote, backslash, control bytes); multi-byte UTF-8 passes
+// through verbatim, which every JSON decoder accepts.
+func appendQuoted(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			buf = append(buf, '\\', c)
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', logHex[c>>4], logHex[c&0xF])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// appendLogfmtValue appends s, quoting it only when it contains a space,
+// an equals sign, a quote, or a control byte.
+func appendLogfmtValue(buf []byte, s string) []byte {
+	needQuote := len(s) == 0
+	for i := 0; i < len(s) && !needQuote; i++ {
+		c := s[i]
+		if c <= ' ' || c == '=' || c == '"' {
+			needQuote = true
+		}
+	}
+	if !needQuote {
+		return append(buf, s...)
+	}
+	return appendQuoted(buf, s)
+}

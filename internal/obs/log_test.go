@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock pins logger timestamps for byte-level assertions.
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerJSONLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, FormatJSON)
+	l.SetClock(fixedClock)
+	l.Info("serving", String("addr", "127.0.0.1:8077"), Int64("proteins", 600), Dur("elapsed", 1500*time.Microsecond))
+	line := buf.String()
+	want := `{"ts":"2026-08-05T12:00:00Z","level":"info","msg":"serving","addr":"127.0.0.1:8077","proteins":600,"elapsed":1500}` + "\n"
+	if line != want {
+		t.Fatalf("line = %q, want %q", line, want)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLoggerLogfmtLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, FormatLogfmt)
+	l.SetClock(fixedClock)
+	l.Info("shut down", String("why", "SIGTERM received"))
+	want := `ts=2026-08-05T12:00:00Z level=info msg="shut down" why="SIGTERM received"` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerLevelGating(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, FormatJSON)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("yes")
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", n, buf.String())
+	}
+	var nilLogger *Logger
+	nilLogger.Info("no-op on nil") // must not panic
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestLoggerEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, FormatJSON)
+	l.SetClock(fixedClock)
+	l.Info(`quote " backslash \ newline` + "\n" + "ctrl \x01 end")
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("escaped line is not valid JSON: %v (%q)", err, buf.String())
+	}
+	if !strings.Contains(decoded["msg"].(string), `quote " backslash \`) {
+		t.Fatalf("msg round-trip lost content: %q", decoded["msg"])
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError, "off": LevelOff} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+	if f, err := ParseFormat("logfmt"); err != nil || f != FormatLogfmt {
+		t.Fatalf("ParseFormat(logfmt) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat accepted junk")
+	}
+}
+
+func TestAccessLogDrainAndContent(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelInfo, FormatJSON)
+	l.SetClock(fixedClock)
+	a := NewAccessLog(l, 16)
+	a.Push(AccessRecord{
+		Time: fixedClock(), TraceID: "t-1", Method: "GET",
+		Route: "/v1/predict", Status: 200, Duration: 250 * time.Microsecond,
+	})
+	a.Push(AccessRecord{
+		Time: fixedClock(), TraceID: "t-2", Method: "POST",
+		Route: "/v1/predict", Status: 404, Duration: 80 * time.Microsecond,
+	})
+	a.Close() // flushes before stopping
+	out := buf.String()
+	if !strings.Contains(out, `"trace":"t-1"`) || !strings.Contains(out, `"trace":"t-2"`) {
+		t.Fatalf("access lines missing trace ids: %q", out)
+	}
+	if !strings.Contains(out, `"status":404`) || !strings.Contains(out, `"dur_us":250`) {
+		t.Fatalf("access lines missing fields: %q", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Fatalf("access line is not valid JSON: %v (%q)", err, line)
+		}
+	}
+}
+
+func TestAccessLogDropsWhenFull(t *testing.T) {
+	// A logger over a blocked writer: the drain goroutine stalls on the
+	// first record, the ring fills, and further pushes drop.
+	blocked := make(chan struct{})
+	l := NewLogger(writerFunc(func(p []byte) (int, error) { <-blocked; return len(p), nil }), LevelInfo, FormatJSON)
+	a := NewAccessLog(l, 4)
+	for i := 0; i < 32; i++ {
+		a.Push(AccessRecord{TraceID: "x", Method: "GET", Route: "/v1/predict"})
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("full ring never dropped")
+	}
+	close(blocked)
+	a.Close()
+}
+
+func TestAccessLogNilSafe(t *testing.T) {
+	var a *AccessLog
+	a.Push(AccessRecord{})
+	a.Close()
+	if a.Dropped() != 0 {
+		t.Fatal("nil access log dropped something")
+	}
+	if got := NewAccessLog(nil, 8); got != nil {
+		t.Fatal("NewAccessLog(nil logger) should be nil")
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	ts := NewTraceSource("r", 0)
+	if a, b := ts.Next(), ts.Next(); a != "r-1" || b != "r-2" {
+		t.Fatalf("trace sequence = %s, %s", a, b)
+	}
+	if got := NewTraceSource("lamod", 41).Next(); got != "lamod-42" {
+		t.Fatalf("seeded trace = %s", got)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"abc", "A-1_b.2", strings.Repeat("x", 64)} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "new\nline", `quo"te`, strings.Repeat("x", 65), "héllo"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+}
+
+func TestStageRecorder(t *testing.T) {
+	var r StageRecorder
+	st := r.Start("census")
+	time.Sleep(time.Millisecond)
+	st.End(152, 4)
+	r.Record(StageStat{Name: "clustering", Wall: 2 * time.Second, Items: 1840, Workers: 4, Busy: 6 * time.Second})
+	got := r.Stages()
+	if len(got) != 2 || got[0].Name != "census" || got[0].Items != 152 || got[0].Wall <= 0 {
+		t.Fatalf("stages = %+v", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "census") || !strings.Contains(out, "clustering") || !strings.Contains(out, "75%") {
+		t.Fatalf("stage table: %q", out)
+	}
+
+	var nilRec *StageRecorder
+	nilRec.Record(StageStat{Name: "x"})
+	nilRec.Start("y").End(0, 0)
+	if nilRec.Stages() != nil {
+		t.Fatal("nil recorder has stages")
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the drain goroutine + test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+var _ io.Writer = writerFunc(nil)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strconv"
+)
+
+// Prometheus text-format (version 0.0.4) rendering. The exposition format
+// is just lines of `name{labels} value`, so the helpers below append
+// directly into a caller-owned buffer — no client library, no registry.
+// Metric names must match [a-z_]+ by project convention (the smoke test
+// greps for exactly that), so keep names lowercase and digit-free.
+
+// AppendPromHeader appends the # HELP and # TYPE preamble for a metric.
+func AppendPromHeader(buf []byte, name, typ, help string) []byte {
+	buf = append(buf, "# HELP "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, help...)
+	buf = append(buf, "\n# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, typ...)
+	return append(buf, '\n')
+}
+
+// AppendPromInt appends one sample line with an integer value and
+// optional pre-rendered label pairs (`key="value"` without braces).
+func AppendPromInt(buf []byte, name, labels string, v int64) []byte {
+	buf = appendPromName(buf, name, labels)
+	buf = strconv.AppendInt(buf, v, 10)
+	return append(buf, '\n')
+}
+
+// AppendPromFloat appends one sample line with a float value.
+func AppendPromFloat(buf []byte, name, labels string, v float64) []byte {
+	buf = appendPromName(buf, name, labels)
+	buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	return append(buf, '\n')
+}
+
+func appendPromName(buf []byte, name, labels string) []byte {
+	buf = append(buf, name...)
+	if labels != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		buf = append(buf, '}')
+	}
+	return append(buf, ' ')
+}
+
+// AppendPromHistogram appends a full Prometheus histogram for one
+// snapshot: cumulative le buckets in seconds, then _sum and _count. name
+// is the bare metric name ("..._duration_seconds"); labels are extra
+// pre-rendered pairs (or "") prepended before the le pair.
+func AppendPromHistogram(buf []byte, name, labels string, s HistSnapshot) []byte {
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = strconv.FormatFloat(float64(BucketBound(i))/1e6, 'g', -1, 64)
+		}
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket{"...)
+		if labels != "" {
+			buf = append(buf, labels...)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `le="`...)
+		buf = append(buf, le...)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = AppendPromFloat(buf, name+"_sum", labels, float64(s.SumMicros)/1e6)
+	buf = AppendPromInt(buf, name+"_count", labels, s.Count)
+	return buf
+}

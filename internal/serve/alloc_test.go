@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"lamofinder/internal/obs"
 )
 
 // discardResponseWriter is the minimal ResponseWriter for measuring the
@@ -41,6 +44,68 @@ func TestPredictHotPathAllocs(t *testing.T) {
 	})
 	if allocs >= 1 {
 		t.Fatalf("index hot path averages %.2f allocs/op, want < 1", allocs)
+	}
+}
+
+// TestInstrumentedPredictAllocs is the tentpole's acceptance gate: the
+// FULL per-request observability layer — trace-ID echo, per-route latency
+// histogram, access logging through the ring — must hold an exact
+// zero-allocation budget around the indexed predict handler when the
+// client supplies X-Request-Id. AllocsPerRun counts mallocs across all
+// goroutines, so the drain goroutine's log encoding is inside the budget
+// too. The TimeoutHandler stays excluded (net/http allocates internally);
+// the claim is about this project's code.
+func TestInstrumentedPredictAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime defeats sync.Pool reuse on purpose; the budget only holds in normal builds")
+	}
+	v2, _ := indexedModel(t)
+	s, err := New(v2, Config{
+		Logger: obs.NewLogger(io.Discard, obs.LevelInfo, obs.FormatJSON),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.instrument(http.HandlerFunc(s.handlePredict))
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict?protein=p1&protein=p5&protein=p13&k=5", nil)
+	req.Header.Set("X-Request-Id", "load-gen-7")
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	for i := 0; i < 8; i++ {
+		h.ServeHTTP(w, req)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		h.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented predict path averages %.2f allocs/op, want exactly 0", allocs)
+	}
+	if got := s.Metrics().Latency["predict"]; got.Count == 0 {
+		t.Fatal("predict histogram empty after instrumented runs")
+	}
+}
+
+// BenchmarkHandlerPredictInstrumented is the instrumented twin of
+// BenchmarkHandlerPredictIndexed: same request, but through the
+// observability middleware with access logging on.
+func BenchmarkHandlerPredictInstrumented(b *testing.B) {
+	v2, _ := indexedModel(b)
+	s, err := New(v2, Config{
+		Logger: obs.NewLogger(io.Discard, obs.LevelInfo, obs.FormatJSON),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.instrument(http.HandlerFunc(s.handlePredict))
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict?protein=p1&protein=p5&protein=p13&k=5", nil)
+	req.Header.Set("X-Request-Id", "bench-1")
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	h.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
 	}
 }
 

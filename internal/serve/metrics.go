@@ -1,44 +1,119 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// metrics holds the daemon's monotonic counters. Everything is atomic so
-// handlers update them without locks; Snapshot is a point-in-time read, not
-// a consistent cut, which is all a metrics endpoint needs.
-type metrics struct {
-	requests      atomic.Int64 // all HTTP requests
-	predictions   atomic.Int64 // proteins scored (cache and index hits included)
-	errors        atomic.Int64 // 4xx/5xx responses
-	indexHits     atomic.Int64 // proteins answered from the score index
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	flightShared  atomic.Int64 // queries that piggybacked on an in-flight twin
-	latencyMicros atomic.Int64 // summed request wall time
-}
+	"lamofinder/internal/obs"
+)
 
-// MetricsSnapshot is the JSON body of /v1/metrics.
-type MetricsSnapshot struct {
-	Requests      int64 `json:"requests"`
-	Predictions   int64 `json:"predictions"`
-	Errors        int64 `json:"errors"`
-	IndexHits     int64 `json:"index_hits"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	FlightShared  int64 `json:"singleflight_shared"`
-	LatencyMicros int64 `json:"latency_micros_total"`
-	CacheEntries  int   `json:"cache_entries"`
-}
+// Route indices for per-route latency histograms. A fixed enum instead of
+// a map keyed by path keeps the hot path free of map writes and the
+// snapshot free of map iteration over anything non-deterministic.
+const (
+	routePredict = iota
+	routeHealthz
+	routeMotifs
+	routeMetrics // the JSON /v1/metrics snapshot
+	routeProm    // the Prometheus /metrics exposition
+	routeOther
+	numRoutes
+)
 
-func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
-	return MetricsSnapshot{
-		Requests:      m.requests.Load(),
-		Predictions:   m.predictions.Load(),
-		Errors:        m.errors.Load(),
-		IndexHits:     m.indexHits.Load(),
-		CacheHits:     m.cacheHits.Load(),
-		CacheMisses:   m.cacheMisses.Load(),
-		FlightShared:  m.flightShared.Load(),
-		LatencyMicros: m.latencyMicros.Load(),
-		CacheEntries:  cacheEntries,
+// routeNames are the static route labels used in access logs, the JSON
+// latency map and the Prometheus route label. Static strings so recording
+// a request never allocates.
+var routeNames = [numRoutes]string{"predict", "healthz", "motifs", "metrics", "prom", "other"}
+
+// routeOf classifies a request path.
+func routeOf(path string) int {
+	switch path {
+	case "/v1/predict":
+		return routePredict
+	case "/v1/healthz":
+		return routeHealthz
+	case "/v1/motifs":
+		return routeMotifs
+	case "/v1/metrics":
+		return routeMetrics
+	case "/metrics":
+		return routeProm
+	default:
+		return routeOther
 	}
+}
+
+// metrics holds the daemon's monotonic counters and per-route latency
+// histograms. Everything is atomic so handlers update them without locks;
+// Snapshot is a point-in-time read, not a consistent cut, which is all a
+// metrics endpoint needs.
+type metrics struct {
+	requests     atomic.Int64 // all HTTP requests
+	predictions  atomic.Int64 // proteins scored (cache and index hits included)
+	errors       atomic.Int64 // 4xx/5xx responses
+	indexHits    atomic.Int64 // proteins answered from the score index
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	flightShared atomic.Int64             // queries that piggybacked on an in-flight twin
+	lat          [numRoutes]obs.Histogram // per-route request wall time
+}
+
+// RouteLatency is one route's latency summary inside MetricsSnapshot:
+// exact count and sum plus percentiles derived from the power-of-two
+// bucket histogram (each reported value is the upper bound of the bucket
+// holding the nearest-rank sample).
+type RouteLatency struct {
+	Count     int64 `json:"count"`
+	SumMicros int64 `json:"sum_micros"`
+	P50Micros int64 `json:"p50_micros"`
+	P90Micros int64 `json:"p90_micros"`
+	P99Micros int64 `json:"p99_micros"`
+}
+
+// MetricsSnapshot is the JSON body of /v1/metrics. The pre-histogram
+// fields keep their names and meaning (LatencyMicros is now the sum over
+// every route histogram), so existing scrapers keep working; Latency and
+// AccessLogDropped are additive. encoding/json emits map keys sorted, so
+// the body stays byte-deterministic for a given counter state.
+type MetricsSnapshot struct {
+	Requests         int64                   `json:"requests"`
+	Predictions      int64                   `json:"predictions"`
+	Errors           int64                   `json:"errors"`
+	IndexHits        int64                   `json:"index_hits"`
+	CacheHits        int64                   `json:"cache_hits"`
+	CacheMisses      int64                   `json:"cache_misses"`
+	FlightShared     int64                   `json:"singleflight_shared"`
+	LatencyMicros    int64                   `json:"latency_micros_total"`
+	CacheEntries     int                     `json:"cache_entries"`
+	AccessLogDropped int64                   `json:"access_log_dropped"`
+	Latency          map[string]RouteLatency `json:"latency"`
+}
+
+func (m *metrics) snapshot(cacheEntries int, accessDropped int64) MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:         m.requests.Load(),
+		Predictions:      m.predictions.Load(),
+		Errors:           m.errors.Load(),
+		IndexHits:        m.indexHits.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		CacheMisses:      m.cacheMisses.Load(),
+		FlightShared:     m.flightShared.Load(),
+		CacheEntries:     cacheEntries,
+		AccessLogDropped: accessDropped,
+		Latency:          make(map[string]RouteLatency, numRoutes),
+	}
+	for r := 0; r < numRoutes; r++ {
+		hs := m.lat[r].Snapshot()
+		s.LatencyMicros += hs.SumMicros
+		if hs.Count == 0 {
+			continue
+		}
+		s.Latency[routeNames[r]] = RouteLatency{
+			Count:     hs.Count,
+			SumMicros: hs.SumMicros,
+			P50Micros: hs.Quantile(0.50),
+			P90Micros: hs.Quantile(0.90),
+			P99Micros: hs.Quantile(0.99),
+		}
+	}
+	return s
 }

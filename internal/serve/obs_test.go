@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"lamofinder/internal/obs"
+)
+
+// obsTestServer builds a server with full observability on — JSON access
+// logs into buf, a seeded trace source — and returns it with its test
+// listener.
+func obsTestServer(t *testing.T, buf *lockedBuffer) (*Server, *httptest.Server) {
+	t.Helper()
+	art, _, _ := exampleModel(t)
+	s, err := New(reload(t, art), Config{
+		Logger: obs.NewLogger(buf, obs.LevelInfo, obs.FormatJSON),
+		Trace:  obs.NewTraceSource("t", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getWithHeader(t *testing.T, url, traceID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID != "" {
+		req.Header.Set("X-Request-Id", traceID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestTraceIDEchoAndGeneration: valid client IDs are echoed verbatim,
+// invalid or absent ones are replaced from the seeded source, and every
+// response carries exactly one X-Request-Id.
+func TestTraceIDEchoAndGeneration(t *testing.T) {
+	var buf lockedBuffer
+	_, ts := obsTestServer(t, &buf)
+	url := ts.URL + "/v1/predict?protein=p1&k=3"
+
+	resp := getWithHeader(t, url, "client-abc.1")
+	if got := resp.Header.Get("X-Request-Id"); got != "client-abc.1" {
+		t.Fatalf("valid client id not echoed: %q", got)
+	}
+
+	resp = getWithHeader(t, url, "")
+	if got := resp.Header.Get("X-Request-Id"); got != "t-1" {
+		t.Fatalf("generated id = %q, want t-1 from the seeded source", got)
+	}
+
+	resp = getWithHeader(t, url, "bad id with spaces")
+	if got := resp.Header.Get("X-Request-Id"); got != "t-2" {
+		t.Fatalf("invalid client id not replaced: %q", got)
+	}
+}
+
+// TestAccessLogLines: each request produces one structured line carrying
+// its trace ID, route, status and duration, flushed by Close.
+func TestAccessLogLines(t *testing.T) {
+	var buf lockedBuffer
+	s, ts := obsTestServer(t, &buf)
+	getWithHeader(t, ts.URL+"/v1/predict?protein=p1&k=3", "want-this-id")
+	getWithHeader(t, ts.URL+"/v1/predict?protein=nonexistent", "want-err-id")
+	getWithHeader(t, ts.URL+"/v1/healthz", "")
+	s.Close()
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log has %d lines, want 3:\n%s", len(lines), out)
+	}
+	type accessLine struct {
+		Msg    string `json:"msg"`
+		Trace  string `json:"trace"`
+		Method string `json:"method"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+		DurUs  int64  `json:"dur_us"`
+	}
+	byTrace := map[string]accessLine{}
+	for _, line := range lines {
+		var al accessLine
+		if err := json.Unmarshal([]byte(line), &al); err != nil {
+			t.Fatalf("access line is not valid JSON: %v (%q)", err, line)
+		}
+		if al.Msg != "access" || al.Method != "GET" {
+			t.Fatalf("unexpected access line: %+v", al)
+		}
+		byTrace[al.Trace] = al
+	}
+	ok := byTrace["want-this-id"]
+	if ok.Route != "predict" || ok.Status != http.StatusOK {
+		t.Fatalf("predict access line wrong: %+v", ok)
+	}
+	bad := byTrace["want-err-id"]
+	if bad.Status != http.StatusNotFound {
+		t.Fatalf("error access line wrong: %+v", bad)
+	}
+	if hz := byTrace["t-1"]; hz.Route != "healthz" {
+		t.Fatalf("healthz line missing or wrong: %+v", byTrace)
+	}
+	if s.Metrics().AccessLogDropped != 0 {
+		t.Fatal("unloaded server dropped access records")
+	}
+}
+
+// promLine is the shape every non-comment exposition line must match —
+// the same regex scripts/serve_smoke.sh enforces.
+var promLine = regexp.MustCompile(`^[a-z_]+(\{[^}]*\})? [0-9.e+-]+$`)
+
+// TestPromEndpoint: /metrics parses line-by-line, carries the counters
+// and a non-empty predict histogram, and its histogram count matches the
+// JSON snapshot's.
+func TestPromEndpoint(t *testing.T) {
+	var buf lockedBuffer
+	s, ts := obsTestServer(t, &buf)
+	for i := 0; i < 3; i++ {
+		getWithHeader(t, ts.URL+"/v1/predict?protein=p1&k=3", "")
+	}
+	resp := getWithHeader(t, ts.URL+"/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	sawBucket := false
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("exposition line does not parse: %q", line)
+		}
+		if strings.HasPrefix(line, `lamod_request_duration_seconds_bucket{route="predict",le="+Inf"}`) {
+			sawBucket = true
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("predict +Inf bucket is zero after requests: %q", line)
+			}
+		}
+	}
+	if !sawBucket {
+		t.Fatalf("no predict histogram in exposition:\n%s", text)
+	}
+	for _, name := range []string{
+		"lamod_requests_total", "lamod_errors_total", "lamod_goroutines",
+		"lamod_heap_alloc_bytes", "lamod_gc_pause_seconds_total", "lamod_access_log_dropped_total",
+	} {
+		if !strings.Contains(text, "\n"+name+" ") && !strings.HasPrefix(text, name+" ") {
+			t.Fatalf("exposition missing %s:\n%s", name, text)
+		}
+	}
+
+	snap := s.Metrics()
+	if lat, okRoute := snap.Latency["predict"]; !okRoute || lat.Count != 3 {
+		t.Fatalf("JSON latency snapshot disagrees: %+v", snap.Latency)
+	}
+}
+
+// TestMetricsJSONCompat: every pre-observability field of /v1/metrics is
+// still present under its original key, and the new fields are additive.
+func TestMetricsJSONCompat(t *testing.T) {
+	var buf lockedBuffer
+	_, ts := obsTestServer(t, &buf)
+	getWithHeader(t, ts.URL+"/v1/predict?protein=p1&k=3", "")
+	resp := getWithHeader(t, ts.URL+"/v1/metrics", "")
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"requests", "predictions", "errors", "index_hits", "cache_hits",
+		"cache_misses", "singleflight_shared", "latency_micros_total",
+		"cache_entries", "access_log_dropped", "latency",
+	} {
+		if _, okKey := raw[key]; !okKey {
+			t.Fatalf("/v1/metrics lost field %q: %v", key, raw)
+		}
+	}
+	var lat map[string]RouteLatency
+	if err := json.Unmarshal(raw["latency"], &lat); err != nil {
+		t.Fatal(err)
+	}
+	p, okLat := lat["predict"]
+	if !okLat || p.Count != 1 || p.P50Micros <= 0 || p.P99Micros < p.P50Micros {
+		t.Fatalf("predict route latency implausible: %+v", p)
+	}
+}
+
+// TestLatencyHistogramSumMatchesLegacyField: latency_micros_total must
+// equal the sum over the per-route histograms, preserving its meaning of
+// "summed request wall time".
+func TestLatencyHistogramSumMatchesLegacyField(t *testing.T) {
+	var buf lockedBuffer
+	s, ts := obsTestServer(t, &buf)
+	getWithHeader(t, ts.URL+"/v1/predict?protein=p1&k=3", "")
+	getWithHeader(t, ts.URL+"/v1/healthz", "")
+	snap := s.Metrics()
+	var sum int64
+	for _, rl := range snap.Latency {
+		sum += rl.SumMicros
+	}
+	if snap.LatencyMicros != sum {
+		t.Fatalf("latency_micros_total %d != per-route sum %d", snap.LatencyMicros, sum)
+	}
+	if snap.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", snap.Requests)
+	}
+}
+
+// lockedBuffer is a bytes.Buffer safe for the drain goroutine + test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -10,7 +10,13 @@
 //	GET  /v1/predict?protein=NAME&k=N — rank functions for one or more proteins
 //	POST /v1/predict {"proteins": ["A", ...], "k": N} — batch form
 //	GET  /v1/motifs  — the labeled motifs backing the model
-//	GET  /v1/metrics — request/latency/cache counters
+//	GET  /v1/metrics — request/latency/cache counters (JSON)
+//	GET  /metrics    — the same state in Prometheus text format, plus Go
+//	                   runtime gauges
+//
+// Every response carries an X-Request-Id header (echoing a valid client
+// value or generated), and with Config.Logger set each request emits one
+// structured access-log line off the hot path.
 //
 // Responses are byte-deterministic: the same artifact and query produce
 // identical bytes at any Parallelism setting, across runs and across
@@ -28,9 +34,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lamofinder/internal/artifact"
+	"lamofinder/internal/obs"
 	"lamofinder/internal/par"
 	"lamofinder/internal/predict"
 )
@@ -54,6 +62,20 @@ type Config struct {
 	// endpoints expose stacks and heap contents, so they are opt-in for
 	// operators, never ambient.
 	EnablePprof bool
+	// Logger, when set, enables structured access logging: one line per
+	// request (trace id, method, route, status, duration), emitted off the
+	// hot path through a bounded ring drained by a background goroutine.
+	// Nil disables access logging entirely.
+	Logger *obs.Logger
+	// AccessLogSize bounds the access-log ring (0 = 1024 entries). When
+	// the drain goroutine cannot keep up the ring drops records and counts
+	// them in the access_log_dropped metric — logging never blocks a
+	// request.
+	AccessLogSize int
+	// Trace generates request IDs for requests that do not supply a valid
+	// X-Request-Id header (nil = a fresh "req"-prefixed source). Seeded
+	// sources make generated IDs deterministic in tests.
+	Trace *obs.TraceSource
 }
 
 // DefaultConfig returns the serving defaults.
@@ -76,6 +98,8 @@ type Server struct {
 	cache  *lruCache
 	flight *flightGroup
 	met    metrics
+	trace  *obs.TraceSource
+	access *obs.AccessLog // nil when Config.Logger is nil
 }
 
 // New builds a server over a loaded artifact. The artifact is shared
@@ -100,6 +124,10 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 		// Reverse order so the lowest index wins a (pathological) name clash.
 		byName[art.Graph.Name(v)] = v
 	}
+	trace := cfg.Trace
+	if trace == nil {
+		trace = obs.NewTraceSource("req", 0)
+	}
 	return &Server{
 		art:    art,
 		scorer: art.NewScorer(),
@@ -109,6 +137,8 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 		cfg:    cfg,
 		cache:  newLRUCache(cfg.CacheSize),
 		flight: newFlightGroup(),
+		trace:  trace,
+		access: obs.NewAccessLog(cfg.Logger, cfg.AccessLogSize),
 	}, nil
 }
 
@@ -119,7 +149,14 @@ func (s *Server) Indexed() bool { return s.index != nil }
 func (s *Server) Digest() string { return s.digest }
 
 // Metrics returns a point-in-time counter snapshot.
-func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()) }
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.met.snapshot(s.cache.len(), s.access.Dropped())
+}
+
+// Close flushes and stops the access-log drain goroutine. Serve calls it
+// on shutdown; tests and embedders that never call Serve should close the
+// server themselves. Idempotent and safe on a logger-less server.
+func (s *Server) Close() { s.access.Close() }
 
 // Handler returns the daemon's HTTP handler: its own ServeMux (never the
 // process-global one), instrumented, with the per-request deadline applied.
@@ -131,6 +168,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/motifs", s.handleMotifs)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", s.handleProm)
 	deadlined := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
 	h := s.instrument(deadlined)
 	if !s.cfg.EnablePprof {
@@ -179,7 +217,8 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 		defer cancel()
 	}
 	err := hs.Shutdown(sctx)
-	<-errc // Serve has returned http.ErrServerClosed
+	<-errc    // Serve has returned http.ErrServerClosed
+	s.Close() // flush buffered access logs before the process reports clean shutdown
 	if err != nil {
 		return fmt.Errorf("serve: drain: %w", err)
 	}
@@ -187,9 +226,16 @@ func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration)
 }
 
 // statusRecorder captures the response code for the metrics middleware.
+// idval backs the X-Request-Id response header: assigning idval[:] into
+// the header map shares the pooled array instead of allocating a fresh
+// []string per request. Reusing the array is safe because every
+// instrumented route writes its response (serializing the headers) before
+// ServeHTTP returns, so no response still reads the slice once the
+// recorder goes back to the pool.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	idval  [1]string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -197,16 +243,48 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
+// instrument wraps the handler chain with the full observability layer —
+// trace IDs, per-route latency histograms, error counters and ring-fed
+// access logs — at zero allocations per request when the client supplies
+// an X-Request-Id (generating a fallback ID builds one small string).
+// The recorder is returned to the pool without defer so a panicking
+// handler abandons it instead of recycling possibly inconsistent state.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		id := r.Header.Get("X-Request-Id")
+		if !obs.ValidTraceID(id) {
+			// Invalid or absent client IDs are replaced, never sanitized, so
+			// logs cannot carry attacker-shaped strings.
+			id = s.trace.Next()
+		}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter = w
+		rec.status = http.StatusOK
+		rec.idval[0] = id
+		w.Header()["X-Request-Id"] = rec.idval[:]
 		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		route := routeOf(r.URL.Path)
 		s.met.requests.Add(1)
 		if rec.status >= 400 {
 			s.met.errors.Add(1)
 		}
-		s.met.latencyMicros.Add(time.Since(start).Microseconds())
+		s.met.lat[route].Record(dur)
+		if s.access != nil {
+			s.access.Push(obs.AccessRecord{
+				Time:     start,
+				TraceID:  id,
+				Method:   r.Method,
+				Route:    routeNames[route],
+				Status:   rec.status,
+				Duration: dur,
+			})
+		}
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
 	})
 }
 

@@ -28,7 +28,7 @@ go build -o "$workdir/lamoload" ./cmd/lamoload
 echo "== build indexed artifact"
 "$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "lamoload smoke" \
     | tee "$workdir/build.log"
-grep -q "indexed (format v2)" "$workdir/build.log"
+grep -q "indexed (format v4)" "$workdir/build.log"
 
 echo "== serve on $addr"
 "$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$addr" \
@@ -59,6 +59,10 @@ echo "== closed-loop load (fixed seed)"
 grep -q '"name": "LoadPredict/p50"' "$workdir/load.json"
 grep -q '"name": "LoadPredict/p99"' "$workdir/load.json"
 grep -q '"name": "LoadPredict/throughput"' "$workdir/load.json"
+# The daemon-side percentiles scraped from /v1/metrics ride in the same
+# snapshot, so the trajectory records both sides of the wire.
+grep -q '"name": "LoadPredict/daemon_p50"' "$workdir/load.json"
+grep -q '"name": "LoadPredict/daemon_p99"' "$workdir/load.json"
 
 echo "== open-loop load (fixed seed)"
 "$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
@@ -90,11 +94,16 @@ done
 wait "$pid" || { echo "daemon exited non-zero" >&2; cat "$workdir/lamod.log" >&2; exit 1; }
 pid=""
 
-echo "== allocation budget (index hot path)"
-go test -run '^$' -bench 'BenchmarkHandlerPredictIndexed' -benchtime 200x -benchmem \
+echo "== allocation budget (index hot path, bare and instrumented)"
+go test -run '^$' -bench 'BenchmarkHandlerPredict(Indexed|Instrumented)$' -benchtime 200x -benchmem \
     ./internal/serve | tee "$workdir/bench.log"
 grep 'BenchmarkHandlerPredictIndexed' "$workdir/bench.log" \
     | grep -qE '[[:space:]]0 allocs/op' \
     || { echo "index hot path exceeds the 0 allocs/op budget" >&2; exit 1; }
+# Full observability on — trace echo, histograms, access logging — must
+# not cost a single allocation either.
+grep 'BenchmarkHandlerPredictInstrumented' "$workdir/bench.log" \
+    | grep -qE '[[:space:]]0 allocs/op' \
+    || { echo "instrumented hot path exceeds the 0 allocs/op budget" >&2; exit 1; }
 
 echo "lamoload smoke OK"

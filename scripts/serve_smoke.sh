@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end gate for the lamod daemon: build a quick
-# artifact, serve it, hit /v1/healthz and /v1/predict through lamoctl, and
-# verify the process drains cleanly on SIGTERM. Run from anywhere inside
-# the repo; CI runs it after the unit suites.
+# artifact (checking the build-stage trace), serve it, hit /v1/healthz and
+# /v1/predict through lamoctl, verify trace-ID propagation end to end
+# (response header plus access-log line), line-validate the Prometheus
+# exposition, and verify the process drains cleanly on SIGTERM. Run from
+# anywhere inside the repo; CI runs it after the unit suites.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,8 +25,13 @@ go build -o "$workdir/lamod" ./cmd/lamod
 go build -o "$workdir/lamoctl" ./cmd/lamoctl
 
 echo "== build artifact"
-"$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "serve smoke"
-"$workdir/lamoctl" inspect -artifact "$workdir/model.lamoart"
+"$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "serve smoke" -stats \
+    | tee "$workdir/build.log"
+# -stats prints the stage table; the same trace must ride in the artifact.
+grep -q "census" "$workdir/build.log"
+"$workdir/lamoctl" inspect -artifact "$workdir/model.lamoart" | tee "$workdir/inspect.json"
+grep -q '"build_stats"' "$workdir/inspect.json"
+grep -q '"stage": "ranking"' "$workdir/inspect.json"
 
 echo "== serve on $addr"
 "$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$addr" \
@@ -57,6 +64,12 @@ echo "== predict"
     | tee "$workdir/predict.json"
 grep -q '"protein":"M0000"' "$workdir/predict.json"
 
+echo "== trace id echo"
+# lamoctl predict -trace fails with exit 1 unless the daemon echoes the ID
+# in the X-Request-Id response header.
+"$workdir/lamoctl" predict -server "http://$addr" -protein M0000 -k 5 \
+    -trace smoke-trace-42 >/dev/null
+
 # The same query twice must return identical bytes (cache hit or not).
 "$workdir/lamoctl" predict -server "http://$addr" -protein M0000 -k 5 \
     >"$workdir/predict2.json"
@@ -64,6 +77,21 @@ cmp "$workdir/predict.json" "$workdir/predict2.json"
 
 echo "== metrics"
 "$workdir/lamoctl" metrics -server "http://$addr"
+"$workdir/lamoctl" metrics -ratios -server "http://$addr" | tee "$workdir/ratios.txt"
+grep -q '^requests=' "$workdir/ratios.txt"
+grep -q 'predict_p50_us=' "$workdir/ratios.txt"
+
+echo "== prometheus exposition"
+"$workdir/lamoctl" prom -server "http://$addr" >"$workdir/prom.txt"
+# Every line must be a comment or `name{labels} value` — one malformed
+# line breaks a real scraper, so one malformed line fails the smoke.
+if grep -Evq '^(#|[a-z_]+(\{[^}]*\})? [0-9.e+-]+$)' "$workdir/prom.txt"; then
+    echo "malformed Prometheus exposition line(s):" >&2
+    grep -Ev '^(#|[a-z_]+(\{[^}]*\})? [0-9.e+-]+$)' "$workdir/prom.txt" >&2
+    exit 1
+fi
+grep -q '^lamod_requests_total ' "$workdir/prom.txt"
+grep -q 'lamod_request_duration_seconds_bucket{route="predict",le="+Inf"}' "$workdir/prom.txt"
 
 echo "== graceful shutdown"
 kill -TERM "$pid"
@@ -80,5 +108,11 @@ fi
 wait "$pid" || { echo "daemon exited non-zero" >&2; cat "$workdir/lamod.log" >&2; exit 1; }
 pid=""
 grep -q "shut down cleanly" "$workdir/lamod.log"
+
+echo "== access log carries the trace id"
+# Shutdown flushes the access-log ring, so the smoke trace ID must appear
+# in a structured stderr line by now.
+grep -q '"trace":"smoke-trace-42"' "$workdir/lamod.log"
+grep -q '"msg":"access"' "$workdir/lamod.log"
 
 echo "serve smoke OK"
