@@ -9,13 +9,15 @@ GO ?= go
 # chunked enumeration / per-network uniqueness fan-outs (internal/motif)
 # on top of the randnet generators, the serving stack (request handlers
 # over the LRU cache, singleflight group, and atomic counters) plus the
-# artifact codec it loads, and the observability layer (lock-free
-# histograms, the access-log ring and its drain goroutine).
+# artifact codec it loads, the observability layer (lock-free histograms,
+# the access-log ring and its drain goroutine), and the analysis engine
+# (parallel per-package rule execution over shared engine state).
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/motif/... ./internal/randnet/... \
-	./internal/serve/... ./internal/artifact/... ./internal/obs/...
+	./internal/serve/... ./internal/artifact/... ./internal/obs/... \
+	./internal/analysis/...
 
-.PHONY: all build vet lamovet lint test race alloc bench-smoke bench-json serve-smoke load-smoke ci
+.PHONY: all build vet govet lamovet vet-json lint test race alloc bench-smoke bench-json serve-smoke load-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -25,16 +27,29 @@ all: ci
 build:
 	$(GO) build ./...
 
-vet:
+# vet runs both the stock toolchain vet and the full 11-rule lamovet
+# suite (seven per-package rules plus the interprocedural taintdet,
+# lockorder, goroleak, and allocbudget).
+vet: govet lamovet
+
+govet:
 	$(GO) vet ./...
 
 # lamovet is the project-specific analyzer suite guarding the determinism
-# contract (see DESIGN.md "Static analysis gates"). It is stdlib-only and
-# self-hosted: the repo must pass its own linter.
+# contract (see DESIGN.md "Static analysis gates" and "Interprocedural
+# analysis"). It is stdlib-only and self-hosted: the repo must pass its
+# own linter.
 lamovet:
 	$(GO) run ./cmd/lamovet ./...
 
-lint: vet lamovet
+# vet-json emits the full suite's findings as a JSON array (empty when the
+# repo is clean) — the machine-readable artifact CI uploads.
+LAMOVET_JSON ?= lamovet.json
+vet-json:
+	$(GO) run ./cmd/lamovet -json ./... > $(LAMOVET_JSON) || (cat $(LAMOVET_JSON); exit 1)
+	@echo "wrote $(LAMOVET_JSON)"
+
+lint: vet
 
 test:
 	$(GO) test ./...

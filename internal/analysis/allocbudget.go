@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocbudget enforces "// alloc-budget: N" annotations statically: the
+// annotated function and everything statically reachable from it through
+// the module call graph may together contain at most N definite
+// allocation sites. The serve hot path is gated dynamically at 0
+// allocs/op by TestInstrumentedPredictAllocs; this rule is the static
+// twin, so a fmt.Sprintf or a fresh closure slipped three calls deep into
+// the predict path fails `make vet` before any benchmark runs.
+//
+// What counts as a definite allocation site is deliberately the set of
+// constructs that allocate on *every* execution: make/new, map and slice
+// composite literals, &T{} literals, calls into known-allocating standard
+// library functions (fmt, encoding/json, errors, the string-returning
+// strconv/strings/bytes helpers, sort's interface/closure entry points),
+// non-constant string concatenation, string<->[]byte/[]rune conversions,
+// variable-capturing closures, boxing a non-pointer-shaped value into an
+// interface, and launching a goroutine. append is *not* a site: appending
+// into a caller-owned pooled buffer is the amortized-zero idiom the hot
+// path is built on, and the dynamic gate verifies the amortization.
+// Standard-library calls outside the denylist and dynamic (interface)
+// calls are trusted — the benchmark gate backs that trust.
+func AllocBudget() *Analyzer {
+	return &Analyzer{
+		Name:      "allocbudget",
+		Doc:       "enforce // alloc-budget: N annotations transitively through the call graph",
+		RunModule: runAllocBudget,
+	}
+}
+
+func runAllocBudget(mp *ModulePass) {
+	e := mp.Engine
+	for _, fn := range e.Graph.Functions() {
+		fact := e.Facts.Fact(fn)
+		if fact == nil || fact.Budget < 0 || !mp.InTarget(fact.Pkg) {
+			continue
+		}
+		var sites []AllocSite
+		var via []string
+		for _, callee := range e.Graph.Reachable(fn) {
+			cf := e.Facts.Fact(callee)
+			if cf == nil {
+				continue // standard library or undeclared: trusted
+			}
+			if len(cf.Allocs) > 0 && callee != fn {
+				via = append(via, callee.Name())
+			}
+			sites = append(sites, cf.Allocs...)
+		}
+		if len(sites) <= fact.Budget {
+			continue
+		}
+		first := sites[0]
+		pos := first.Pkg.Fset.Position(first.Pos)
+		detail := fmt.Sprintf("%s at %s:%d", first.What, pos.Filename, pos.Line)
+		if len(via) > 0 {
+			detail += " (reached via " + strings.Join(via, ", ") + ")"
+		}
+		mp.Reportf(fact.Pkg, fact.Decl.Name.Pos(),
+			"%s declares alloc-budget %d but reaches %d definite allocation site(s); first: %s",
+			fn.Name(), fact.Budget, len(sites), detail)
+	}
+}
+
+// allocDenylist names standard-library functions that always allocate.
+// Package fmt and encoding/json are denied wholesale.
+var allocDenylist = map[string]map[string]bool{
+	"errors":  {"New": true, "Join": true},
+	"strconv": {"FormatInt": true, "FormatUint": true, "FormatFloat": true, "FormatBool": true, "Itoa": true, "Quote": true, "QuoteToASCII": true, "QuoteRune": true},
+	"strings": {"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true, "ToUpper": true, "ToLower": true, "Split": true, "SplitN": true, "Fields": true, "Map": true, "Title": true, "Clone": true},
+	"bytes":   {"Join": true, "Repeat": true, "Split": true, "SplitN": true, "Fields": true, "Clone": true},
+	"sort":    {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+}
+
+// collectAllocSites records every definite allocation site in one
+// function body, nested function literals included (their bodies run
+// under the same budget when the closure is reachable).
+func collectAllocSites(pkg *Package, fd *ast.FuncDecl) []AllocSite {
+	var sites []AllocSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, AllocSite{Pos: pos, Pkg: pkg, What: what})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			add(n.Pos(), "goroutine launch")
+		case *ast.FuncLit:
+			if capturesVariables(pkg, n) {
+				add(n.Pos(), "variable-capturing closure")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstantString(pkg, n) {
+				add(n.Pos(), "string concatenation")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "heap composite literal (&T{})")
+				}
+			}
+		case *ast.CompositeLit:
+			switch pkg.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal")
+			case *types.Map:
+				add(n.Pos(), "map literal")
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pkg, n, add)
+		}
+		return true
+	})
+	return sites
+}
+
+func checkAllocCall(pkg *Package, call *ast.CallExpr, add func(token.Pos, string)) {
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convAllocates(pkg, tv.Type, call.Args[0]) {
+			add(call.Pos(), "string/slice conversion")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make")
+			case "new":
+				add(call.Pos(), "new")
+			}
+			return
+		}
+	}
+	fn := CalleesAt(pkg.Info, call)
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "fmt" || path == "encoding/json" || path == "regexp" {
+			add(call.Pos(), path+"."+fn.Name()+" call")
+		} else if deny, ok := allocDenylist[path]; ok && deny[fn.Name()] {
+			add(call.Pos(), path+"."+fn.Name()+" call")
+		}
+	}
+	// Boxing: a non-pointer-shaped concrete value passed where an
+	// interface is expected heap-allocates the value.
+	if sig := callSignature(pkg, call); sig != nil {
+		for i, arg := range call.Args {
+			pt := paramTypeAt(sig, i)
+			if pt == nil {
+				continue
+			}
+			if _, ok := pt.Underlying().(*types.Interface); !ok {
+				continue
+			}
+			tv, ok := pkg.Info.Types[arg]
+			if !ok || tv.Value != nil || tv.IsNil() {
+				continue // constants and nil are statically materialized
+			}
+			if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+				continue // already an interface: no re-boxing
+			}
+			if !pointerShaped(tv.Type) {
+				add(arg.Pos(), "interface boxing of "+tv.Type.String())
+			}
+		}
+	}
+}
+
+// convAllocates reports whether converting operand to target copies the
+// underlying bytes: string([]byte), string([]rune), []byte(string), and
+// []rune(string) all allocate a fresh backing array. Every other
+// conversion (numeric, named-type, pointer) is a free reinterpretation.
+func convAllocates(pkg *Package, target types.Type, operand ast.Expr) bool {
+	src := pkg.Info.TypeOf(operand)
+	if src == nil {
+		return false
+	}
+	if tv, ok := pkg.Info.Types[operand]; ok && tv.Value != nil {
+		return false // constant operand: materialized in rodata
+	}
+	return (isStringType(target) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(target) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Uint8 || basic.Kind() == types.Int32
+}
+
+func callSignature(pkg *Package, call *ast.CallExpr) *types.Signature {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the declared type of argument slot i, unrolling the
+// variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		t := params.At(params.Len() - 1).Type()
+		if s, ok := t.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return t
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// stores the value directly in the interface word (no heap allocation).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isNonConstantString(pkg *Package, expr *ast.BinaryExpr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// capturesVariables reports whether the literal references a variable
+// declared outside itself — the capture that forces the closure (and the
+// captured variable) onto the heap.
+func capturesVariables(pkg *Package, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures, and neither is
+		// anything declared inside the literal itself.
+		if v.Parent() == pkg.Types.Scope() || v.Pkg() != pkg.Types {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}

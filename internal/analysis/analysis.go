@@ -45,7 +45,11 @@ import (
 // to packages beneath it.
 const ModulePath = "lamofinder"
 
-// Analyzer is one named, independently toggleable rule.
+// Analyzer is one named, independently toggleable rule. A rule is either
+// per-package (Run: one type-checked package at a time, no cross-package
+// state) or module-wide (RunModule: runs once over the Engine's facts
+// store and call graph after every package is loaded). Exactly one of
+// the two hooks is set.
 type Analyzer struct {
 	// Name is the rule identifier used in diagnostics and -rules flags.
 	Name string
@@ -53,6 +57,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the pass and reports diagnostics via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module through the interprocedural
+	// engine (facts store, call graph, taint summaries) and reports via
+	// mp.Reportf.
+	RunModule func(mp *ModulePass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -87,7 +95,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the seven
+// per-package rules, then the four interprocedural rules that need the
+// engine (taintdet, lockorder, goroleak, allocbudget).
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -97,6 +107,10 @@ func All() []*Analyzer {
 		NoPanic(),
 		NoHTTPGlobals(),
 		NoAdhocLog(),
+		TaintDet(),
+		LockOrder(),
+		GoroLeak(),
+		AllocBudget(),
 	}
 }
 
@@ -134,11 +148,15 @@ func names(as []*Analyzer) string {
 	return strings.Join(ns, ", ")
 }
 
-// RunAnalyzers applies each analyzer to the package and returns the
-// findings sorted by position.
+// RunAnalyzers applies each per-package analyzer to the package and
+// returns the findings in deterministic order. Module-wide analyzers
+// (nil Run) are skipped; they need an Engine (see Engine.Run).
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:  pkg.Fset,
 			Path:  pkg.Path,
@@ -150,17 +168,32 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	sortDiagnostics(diags)
 	return diags
+}
+
+// sortDiagnostics is the single ordering every consumer sees: filename,
+// line, column, then rule, then message. The rule and message tiebreaks
+// matter: two rules reporting the same position used to come out in
+// whatever order sort.Slice's unstable comparator left them, which made
+// lamovet's output (and the CI JSON artifact) flap between runs.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
 }
 
 // relPath returns the package path relative to the module root, or ok=false

@@ -119,18 +119,18 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("expanded only %d packages: %v", len(paths), paths)
 	}
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
+		if _, err := loader.Load(path); err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		for _, d := range RunAnalyzers(pkg, All()) {
-			t.Errorf("%s", d)
-		}
+	}
+	engine := NewEngine(loader.Loaded())
+	for _, d := range engine.Run(All(), paths, 0) {
+		t.Errorf("%s", d)
 	}
 }
 
 func TestSelect(t *testing.T) {
-	if as, err := Select(""); err != nil || len(as) != 7 {
+	if as, err := Select(""); err != nil || len(as) != 11 {
 		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(as), err)
 	}
 	as, err := Select("floateq, nopanic")

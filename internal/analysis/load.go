@@ -34,6 +34,11 @@ type Loader struct {
 
 	std  types.ImporterFrom
 	pkgs map[string]*Package
+	// order records packages in completion order: a package is appended
+	// only after every module-internal import it triggered has already
+	// been appended, so order is a valid dependency order (imports precede
+	// importers). Engine construction relies on this invariant.
+	order []*Package
 	// loading guards against import cycles, which go/types would otherwise
 	// chase forever through the recursive importer.
 	loading map[string]bool
@@ -160,7 +165,18 @@ func (l *Loader) Load(path string) (*Package, error) {
 		return nil, err
 	}
 	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
 	return pkg, nil
+}
+
+// Loaded returns every package this loader has type-checked, in
+// dependency order (imports precede importers). Fixture packages loaded
+// via LoadDir are not included; append them explicitly when building an
+// Engine over fixtures.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, len(l.order))
+	copy(out, l.order)
+	return out
 }
 
 // LoadDir type-checks a single directory outside the normal module layout

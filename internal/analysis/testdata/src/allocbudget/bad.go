@@ -1,0 +1,30 @@
+package fixture
+
+import "lamofinder/internal/analysis/testdata/src/allocbudget/helper"
+
+// grow allocates a fresh slice on every call.
+func grow(n int) []int {
+	return make([]int, n)
+}
+
+// Hot claims zero allocations but reaches grow's make through one call; a
+// scan of Hot's own body sees nothing to object to.
+//
+// alloc-budget: 0
+func Hot(n int) []int { // want
+	return grow(n)
+}
+
+// HotCross reaches an allocation living in another package entirely.
+//
+// alloc-budget: 0
+func HotCross(n int) []byte { // want
+	return helper.Buf(n)
+}
+
+// HotOwn allocates in its own body — the degenerate single-function case.
+//
+// alloc-budget: 0
+func HotOwn(k string, v int) map[string]int { // want
+	return map[string]int{k: v}
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import "lamofinder/internal/analysis/testdata/src/allocbudget/helper"
+
+// Fill appends into the caller's buffer: the amortized-zero pooled-buffer
+// idiom, which the static gate deliberately trusts (the benchmark gate
+// verifies the amortization).
+//
+// alloc-budget: 0
+func Fill(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// One spends exactly its declared budget on grow's make.
+//
+// alloc-budget: 1
+func One(n int) []int {
+	return grow(n)
+}
+
+// OneCross budgets for the helper package's allocation.
+//
+// alloc-budget: 1
+func OneCross(n int) []byte {
+	return helper.Buf(n)
+}
+
+// Unannotated functions may allocate freely: the rule is opt-in.
+func Unannotated(n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, grow(i))
+	}
+	return out
+}

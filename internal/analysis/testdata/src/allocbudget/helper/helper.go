@@ -1,0 +1,8 @@
+// Package helper hides an allocation behind a package boundary for the
+// allocbudget fixture's cross-package case.
+package helper
+
+// Buf returns a fresh buffer: one definite allocation site.
+func Buf(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the three call-graph edge kinds the unit
+// tests assert: a plain static call, a method value, and a call made from
+// inside a closure (attributed to the enclosing declared function).
+package fixture
+
+type T struct {
+	n int
+}
+
+func (t T) M() int {
+	return t.n
+}
+
+func target() int {
+	return 1
+}
+
+// Static calls target directly.
+func Static() int {
+	return target()
+}
+
+// MethodValue captures t.M as a value; the edge MethodValue→T.M exists
+// even though the eventual call through f is dynamic.
+func MethodValue(t T) int {
+	f := t.M
+	return f()
+}
+
+// Closure calls target only from inside a literal; the edge belongs to
+// Closure, the enclosing declared function.
+func Closure() func() int {
+	return func() int {
+		return target()
+	}
+}

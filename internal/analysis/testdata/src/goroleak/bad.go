@@ -1,0 +1,31 @@
+package fixture
+
+// Spin launches a literal nobody can join: its body touches no channel
+// and no WaitGroup, so shutdown has nothing to wait on.
+func Spin(n *int) {
+	go func() { // want
+		for {
+			*n++
+		}
+	}()
+}
+
+// forever crunches with no join-capable operation anywhere in it.
+func forever(n *int) {
+	for {
+		*n++
+	}
+}
+
+// SpinNamed launches a declared function that is equally unjoinable; only
+// the call graph can see that — the go statement itself looks innocent.
+func SpinNamed(n *int) {
+	go forever(n) // want
+}
+
+// SpinWrapped hides the unjoinable loop behind a joining-free wrapper.
+func SpinWrapped(n *int) {
+	go func() { // want
+		forever(n)
+	}()
+}

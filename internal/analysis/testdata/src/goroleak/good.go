@@ -1,0 +1,41 @@
+package fixture
+
+import "sync"
+
+// Fan is the worker-pool shape: the launched literal signals a WaitGroup,
+// so Wait joins it.
+func Fan(wg *sync.WaitGroup, n *int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		*n++
+	}()
+}
+
+// Pump launches a declared function that parks on a channel — joinable
+// through done, proven via the callee's facts.
+func Pump(done chan struct{}) {
+	go wait(done)
+}
+
+func wait(done chan struct{}) {
+	<-done
+}
+
+// PumpLit joins transitively: the literal's body has no channel ops, but
+// its static callee does.
+func PumpLit(done chan struct{}) {
+	go func() {
+		wait(done)
+	}()
+}
+
+// Serve is the listener shape: the goroutine hands its result to a
+// channel the caller can drain.
+func Serve(run func() error) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run()
+	}()
+	return <-errc
+}

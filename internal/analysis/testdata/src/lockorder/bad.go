@@ -1,0 +1,56 @@
+package fixture
+
+import "sync/atomic"
+
+// LookupThenCount nests statsMu inside mu; CountThenLookup nests them the
+// other way around. Either order alone is fine — the inversion is only
+// visible with both functions (and, for Rebalance, the callee's lock set)
+// in view, which is exactly what a per-function scan lacks.
+func (r *Registry) LookupThenCount(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.table[k]
+	r.statsMu.Lock() // want
+	r.hits++
+	r.statsMu.Unlock()
+	return v
+}
+
+// CountThenLookup acquires the same two lock classes in the opposite
+// order: the classic ABBA deadlock shape.
+func (r *Registry) CountThenLookup(k string) int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.mu.Lock() // want
+	v := r.table[k]
+	r.mu.Unlock()
+	return v
+}
+
+// Rebalance holds mu across a call into recount, which takes statsMu: the
+// same mu→statsMu edge as LookupThenCount, but only the call graph sees it.
+func (r *Registry) Rebalance() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recount() // want
+}
+
+func (r *Registry) recount() {
+	r.statsMu.Lock()
+	r.hits = 0
+	r.statsMu.Unlock()
+}
+
+// Gauge mixes atomic and plain access to one field: Inc publishes through
+// sync/atomic while Read loads the field with a plain read that races.
+type Gauge struct {
+	val int64
+}
+
+func (g *Gauge) Inc() {
+	atomic.AddInt64(&g.val, 1)
+}
+
+func (g *Gauge) Read() int64 {
+	return g.val // want
+}

@@ -1,0 +1,60 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Registry pairs a table lock with a separate stats lock; bad.go nests
+// them inconsistently. Cache below is the clean twin: every path takes
+// its two locks in the same order, so no inversion exists for its classes.
+type Registry struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+	table   map[string]int
+	hits    int64
+}
+
+// Cache always orders mu before evictMu.
+type Cache struct {
+	mu      sync.Mutex
+	evictMu sync.Mutex
+	entries map[string]int
+	evicted int
+}
+
+// Get nests evictMu inside mu — the one sanctioned order for Cache.
+func (c *Cache) Get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.entries[k]
+	c.evictMu.Lock()
+	c.evicted++
+	c.evictMu.Unlock()
+	return v
+}
+
+// Put takes the same classes in the same order; consistent nesting is not
+// an inversion no matter how many call sites repeat it.
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	c.entries[k] = v
+	c.evictMu.Lock()
+	c.evicted++
+	c.evictMu.Unlock()
+	c.mu.Unlock()
+}
+
+// Counter keeps every access to ops atomic — the discipline Gauge in
+// bad.go violates.
+type Counter struct {
+	ops int64
+}
+
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.ops, 1)
+}
+
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.ops)
+}

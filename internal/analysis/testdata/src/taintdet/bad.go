@@ -1,0 +1,67 @@
+package fixture
+
+import (
+	"math/rand"
+	"strconv"
+
+	"lamofinder/internal/analysis/testdata/src/taintdet/helper"
+)
+
+// Emit stands in for the artifact/JSON encoders; tainted arguments to it
+// are taintdet violations.
+//
+// lamovet:sink
+func Emit(lines []string) int {
+	return len(lines)
+}
+
+// Report is a serialized payload: assignments into Lines are sinks.
+type Report struct {
+	Lines []string // lamovet:serialized
+	note  string
+}
+
+// BadDirect collects keys in map-iteration order and serializes them: the
+// single-function case every per-function linter also sees — except this
+// package is outside mapiter's scope, so only taintdet reports it.
+func BadDirect(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return Emit(keys) // want
+}
+
+// BadCross launders the map order through a helper in another package;
+// a per-function scan of this body sees only an innocent call chain.
+func BadCross(m map[string]int) int {
+	keys := helper.Keys(m)
+	return Emit(keys) // want
+}
+
+// BadEchoed adds one more hop through an identity function.
+func BadEchoed(m map[string]int) int {
+	keys := helper.Echo(helper.Keys(m))
+	return Emit(keys) // want
+}
+
+// BadField writes cross-package order taint into a serialized field.
+func BadField(m map[string]int, r *Report) {
+	r.Lines = helper.Keys(m) // want
+}
+
+// BadTime serializes a wall-clock stamp minted in the helper package.
+func BadTime() int {
+	return Emit([]string{helper.Stamp()}) // want
+}
+
+// BadRandSorted sorts before serializing — but sorting only repairs
+// order; the values themselves came from the global generator.
+func BadRandSorted(n int) int {
+	vals := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, strconv.Itoa(rand.Intn(100)))
+	}
+	sortStrings(vals)
+	return Emit(vals) // want
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"lamofinder/internal/analysis/testdata/src/taintdet/helper"
+)
+
+// sortStrings wraps sort.Strings so fixtures exercise sanitization both
+// directly and through a module-internal helper.
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+// GoodSorted is the sanctioned collect-then-sort idiom: sorting clears the
+// order taint the helper minted, so the sink sees a deterministic slice.
+func GoodSorted(m map[string]int) int {
+	keys := helper.Keys(m)
+	sort.Strings(keys)
+	return Emit(keys)
+}
+
+// GoodSeeded draws from an injected, caller-seeded generator: method calls
+// on a *rand.Rand are the sanctioned pattern and stay clean.
+func GoodSeeded(r *rand.Rand) int {
+	return Emit([]string{strconv.Itoa(r.Intn(100))})
+}
+
+// GoodPlain serializes plain inputs: no taint anywhere.
+func GoodPlain(names []string, rep *Report) int {
+	rep.Lines = names
+	return Emit(names)
+}

@@ -1,0 +1,27 @@
+// Package helper supplies taint sources behind a package boundary, so the
+// taintdet fixture exercises cross-package summary propagation: the
+// fixture never ranges over a map or touches the clock itself.
+package helper
+
+import "time"
+
+// Keys returns m's keys in map-iteration order — the classic order-taint
+// source, two packages away from the sink that consumes it.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp returns the wall-clock time as text: clock taint minted here,
+// reported at the sink in the importing package.
+func Stamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+// Echo passes its argument straight through — taint must survive the hop.
+func Echo(vals []string) []string {
+	return vals
+}

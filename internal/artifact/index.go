@@ -46,6 +46,8 @@ func (ix *ScoreIndex) Row(p int) []float64 {
 // Ranking returns protein p's full descending ranking (positive scores
 // only, ties toward the smaller function index). The slice aliases the
 // index and must be treated read-only; a top-k answer is Ranking(p)[:k].
+//
+// alloc-budget: 0
 func (ix *ScoreIndex) Ranking(p int) []predict.Ranked {
 	return ix.ranked[p]
 }

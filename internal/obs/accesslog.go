@@ -142,6 +142,8 @@ func (a *AccessLog) flush() {
 // into the pooled buffer through fixed-shape code, never fmt or variadic
 // fields. This is the path the serve alloc-budget gate measures with
 // logging enabled.
+//
+// alloc-budget: 0
 func (l *Logger) access(rec *AccessRecord) {
 	if !l.Enabled(LevelInfo) {
 		return

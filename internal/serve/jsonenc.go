@@ -113,6 +113,8 @@ func appendJSONFloat(b []byte, f float64) []byte {
 // PredictResponse, built by appending into the caller's buffer.
 // rankings[i] is the (already truncated) ranking for proteins[i]; function
 // names resolve through fnNames at encode time.
+//
+// alloc-budget: 0
 func appendPredictResponse(buf []byte, digest string, k int, proteins []string,
 	rankings [][]predict.Ranked, fnNames []string) []byte {
 	buf = append(buf, `{"artifact":`...)
