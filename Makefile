@@ -13,11 +13,12 @@ GO ?= go
 # the access-log ring and its drain goroutine), and the analysis engine
 # (parallel per-package rule execution over shared engine state).
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
-	./internal/motif/... ./internal/randnet/... \
+	./internal/motif/... ./internal/graph/... ./internal/ontology/... \
+	./internal/dimotif/... ./internal/randnet/... \
 	./internal/serve/... ./internal/artifact/... ./internal/obs/... \
 	./internal/analysis/...
 
-.PHONY: all build vet govet lamovet vet-json lint test race alloc bench-smoke bench-json serve-smoke load-smoke ci
+.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -63,6 +64,13 @@ race:
 alloc:
 	$(GO) test -run 'TestInstrumentedPredictAllocs|TestPredictHotPathAllocs' -v ./internal/serve
 
+# alloc-build is the build-side counterpart: the beam-miner benchmarks must
+# stay within the checked-in allocs/op and bytes/op ceilings in
+# ALLOC_BUDGET.json, so the mining hot path's CSR/bitset/arena memory
+# layout (DESIGN.md §13) cannot silently regress back to per-subgraph maps.
+alloc-build:
+	$(GO) test -run TestMinerBeamAllocBudget -v .
+
 # bench-smoke compiles and executes every benchmark exactly once — a CI
 # guard against benchmark rot, not a measurement.
 bench-smoke:
@@ -87,4 +95,4 @@ serve-smoke:
 load-smoke:
 	./scripts/lamoload_smoke.sh
 
-ci: build lint test race alloc bench-smoke serve-smoke load-smoke
+ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke

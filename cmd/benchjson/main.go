@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	input := flag.String("input", "", "parse this saved benchmark log instead of running go test")
 	out := flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+	baseline := flag.String("baseline", "",
+		"prior BENCH_*.json to diff against (default: latest in the output directory; \"none\" disables)")
 	flag.Parse()
 
 	var (
@@ -89,11 +92,47 @@ func main() {
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"
 	}
+	attachBaseline(&snap, path, *baseline)
 	if err := snap.WriteFile(path); err != nil {
 		fatal(err)
 	}
 	if path != "-" {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), path)
+	}
+}
+
+// attachBaseline diffs the snapshot against a prior trajectory point — an
+// explicit file, or the latest dated BENCH_*.json next to the output — and
+// prints the per-benchmark deltas so an optimization PR's before/after
+// lands both on stderr and inside the committed snapshot.
+func attachBaseline(snap *benchfmt.Snapshot, outPath, flagVal string) {
+	if flagVal == "none" || outPath == "-" && flagVal == "" {
+		return
+	}
+	basePath := flagVal
+	if basePath == "" {
+		dir := filepath.Dir(outPath)
+		latest, err := benchfmt.LatestSnapshot(dir, filepath.Base(outPath))
+		if err != nil || latest == "" {
+			return // no prior snapshot: nothing to diff
+		}
+		basePath = latest
+	}
+	base, err := benchfmt.ReadFile(basePath)
+	if err != nil {
+		fatal(fmt.Errorf("baseline: %w", err))
+	}
+	snap.Baseline = benchfmt.Diff(base, filepath.Base(basePath), snap.Results)
+	fmt.Fprintf(os.Stderr, "benchjson: baseline %s (%s)\n", basePath, base.Date)
+	for _, d := range snap.Baseline.Deltas {
+		line := fmt.Sprintf("  %-40s ns %+6.1f%%", d.Name, d.NsPct)
+		if d.BytesPct != nil {
+			line += fmt.Sprintf("  B/op %+6.1f%%", *d.BytesPct)
+		}
+		if d.AllocsPct != nil {
+			line += fmt.Sprintf("  allocs/op %+6.1f%%", *d.AllocsPct)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

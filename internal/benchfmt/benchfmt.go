@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -30,14 +32,107 @@ type Result struct {
 
 // Snapshot is one dated trajectory point.
 type Snapshot struct {
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Command    string   `json:"command,omitempty"`
-	Results    []Result `json:"results"`
+	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Command    string    `json:"command,omitempty"`
+	Baseline   *Baseline `json:"baseline,omitempty"`
+	Results    []Result  `json:"results"`
+}
+
+// Baseline records which prior snapshot this one was diffed against and the
+// per-benchmark deltas, so a committed BENCH_*.json carries its own
+// before/after story (EXPERIMENTS.md quotes these numbers).
+type Baseline struct {
+	File   string  `json:"file"`
+	Date   string  `json:"date,omitempty"`
+	Deltas []Delta `json:"deltas"`
+}
+
+// Delta is one benchmark's change versus the baseline, in percent:
+// (new - old) / old * 100, so negative is an improvement. Memory columns
+// are only present when both runs recorded them.
+type Delta struct {
+	Name      string   `json:"name"`
+	NsPct     float64  `json:"ns_pct"`
+	BytesPct  *float64 `json:"bytes_pct,omitempty"`
+	AllocsPct *float64 `json:"allocs_pct,omitempty"`
+}
+
+// Diff compares results against a baseline snapshot, matching benchmarks by
+// name (first occurrence wins on duplicates) and skipping benchmarks absent
+// from either side. file labels where the baseline came from.
+func Diff(base *Snapshot, file string, results []Result) *Baseline {
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		if _, ok := old[r.Name]; !ok {
+			old[r.Name] = r
+		}
+	}
+	b := &Baseline{File: file, Date: base.Date}
+	for _, r := range results {
+		o, ok := old[r.Name]
+		if !ok || o.NsPerOp == 0 {
+			continue
+		}
+		d := Delta{Name: r.Name, NsPct: pct(r.NsPerOp, o.NsPerOp)}
+		if o.BytesPerOp > 0 {
+			p := pct(float64(r.BytesPerOp), float64(o.BytesPerOp))
+			d.BytesPct = &p
+		}
+		if o.AllocsOp > 0 {
+			p := pct(float64(r.AllocsOp), float64(o.AllocsOp))
+			d.AllocsPct = &p
+		}
+		b.Deltas = append(b.Deltas, d)
+	}
+	return b
+}
+
+func pct(new, old float64) float64 {
+	return math.Round((new-old)/old*100*10) / 10 // one decimal place
+}
+
+// ReadFile loads a snapshot from disk.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// LatestSnapshot returns the lexically greatest BENCH_*.json in dir other
+// than exclude (dated names sort chronologically), or "" when none exists.
+func LatestSnapshot(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if name == exclude {
+			continue
+		}
+		if name > best {
+			best = name
+		}
+	}
+	if best == "" {
+		return "", nil
+	}
+	return filepath.Join(dir, best), nil
 }
 
 // NewSnapshot stamps a snapshot with today's date and the running

@@ -91,3 +91,86 @@ func TestMergeFileErrors(t *testing.T) {
 		t.Fatal("merge into malformed JSON did not fail")
 	}
 }
+
+func TestDiffPercentages(t *testing.T) {
+	base := &Snapshot{
+		Date: "2026-08-05",
+		Results: []Result{
+			{Name: "BenchmarkMiner", NsPerOp: 2000, BytesPerOp: 1000, AllocsOp: 200},
+			{Name: "BenchmarkOnlyOld", NsPerOp: 10},
+			{Name: "BenchmarkNoMem", NsPerOp: 100},
+		},
+	}
+	cur := []Result{
+		{Name: "BenchmarkMiner", NsPerOp: 1000, BytesPerOp: 500, AllocsOp: 10},
+		{Name: "BenchmarkNoMem", NsPerOp: 150},
+		{Name: "BenchmarkOnlyNew", NsPerOp: 5},
+	}
+	d := Diff(base, "BENCH_2026-08-05.json", cur)
+	if d.File != "BENCH_2026-08-05.json" || d.Date != "2026-08-05" {
+		t.Fatalf("baseline provenance: %+v", d)
+	}
+	if len(d.Deltas) != 2 {
+		t.Fatalf("want 2 deltas (unmatched benchmarks skipped), got %+v", d.Deltas)
+	}
+	m := d.Deltas[0]
+	if m.Name != "BenchmarkMiner" || m.NsPct != -50 {
+		t.Fatalf("miner ns delta: %+v", m)
+	}
+	if m.BytesPct == nil || *m.BytesPct != -50 || m.AllocsPct == nil || *m.AllocsPct != -95 {
+		t.Fatalf("miner mem deltas: %+v", m)
+	}
+	n := d.Deltas[1]
+	if n.Name != "BenchmarkNoMem" || n.NsPct != 50 || n.BytesPct != nil || n.AllocsPct != nil {
+		t.Fatalf("no-mem delta: %+v", n)
+	}
+}
+
+func TestLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2026-08-04-pre.json", "BENCH_2026-08-05-post.json",
+		"BENCH_2026-08-08.json", "notes.json", "BENCH_raw.txt",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The output file itself must be excluded so a rerun never diffs
+	// against its own previous write.
+	got, err := LatestSnapshot(dir, "BENCH_2026-08-08.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-05-post.json" {
+		t.Fatalf("latest = %q", got)
+	}
+	empty := t.TempDir()
+	if got, err := LatestSnapshot(empty, ""); err != nil || got != "" {
+		t.Fatalf("empty dir: %q, %v", got, err)
+	}
+}
+
+func TestSnapshotBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	p := -12.5
+	snap := Snapshot{
+		Date:    "2026-08-08",
+		Results: []Result{{Name: "B", NsPerOp: 1}},
+		Baseline: &Baseline{
+			File:   "BENCH_old.json",
+			Deltas: []Delta{{Name: "B", NsPct: 3, AllocsPct: &p}},
+		},
+	}
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Baseline == nil || back.Baseline.File != "BENCH_old.json" ||
+		len(back.Baseline.Deltas) != 1 || *back.Baseline.Deltas[0].AllocsPct != -12.5 {
+		t.Fatalf("baseline round trip: %+v", back.Baseline)
+	}
+}

@@ -35,6 +35,34 @@ func NewDiDense(n int) *DiDense {
 // N returns the vertex count.
 func (d *DiDense) N() int { return d.n }
 
+// Reset clears d back to n isolated vertices in place, letting the miner
+// reuse one DiDense as scratch instead of allocating per candidate set.
+//
+// invariant: 0 <= n <= graph.MaxDense — same bound as NewDiDense.
+func (d *DiDense) Reset(n int) {
+	if n < 0 || n > graph.MaxDense {
+		panic(fmt.Sprintf("dimotif: size %d out of range", n))
+	}
+	for i := 0; i < d.n; i++ {
+		d.out[i] = 0
+	}
+	d.n = n
+}
+
+// AppendBits appends the raw arc-bits key of d to buf and returns the
+// extended slice: the directed analogue of Dense.AppendBits, probed through
+// a reused scratch buffer by the classifier's raw-shape cache.
+//
+// alloc-budget: 0
+func (d *DiDense) AppendBits(buf []byte) []byte {
+	buf = append(buf, byte(d.n))
+	for i := 0; i < d.n; i++ {
+		r := d.out[i]
+		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return buf
+}
+
 // M returns the arc count.
 func (d *DiDense) M() int {
 	m := 0
@@ -350,15 +378,22 @@ func Orbits(d *DiDense) [][]int {
 	return orbits
 }
 
-// Classifier interns directed graphs into isomorphism classes.
+// Classifier interns directed graphs into isomorphism classes. Like the
+// undirected graph.Classifier, identical raw arc matrices (same labeling,
+// not merely isomorphic) resolve through a first-level cache probed via a
+// reused scratch buffer, so repeat labeled shapes — the common case under
+// beam mining — classify with zero allocations.
 type Classifier struct {
-	byInv map[uint64][]int
-	reps  []*DiDense
+	byRaw  map[string]int   // raw arc bits -> class id
+	byInv  map[uint64][]int // invariant -> candidate class ids
+	reps   []*DiDense
+	occMap map[string][]int // raw arc bits -> rep-order mapping (see OccMapping)
+	keyBuf []byte           // scratch for raw-bits lookups (no alloc on hits)
 }
 
 // NewClassifier returns an empty directed classifier.
 func NewClassifier() *Classifier {
-	return &Classifier{byInv: map[uint64][]int{}}
+	return &Classifier{byRaw: map[string]int{}, byInv: map[uint64][]int{}}
 }
 
 // NumClasses returns the number of classes seen.
@@ -369,14 +404,39 @@ func (c *Classifier) Rep(id int) *DiDense { return c.reps[id] }
 
 // Classify returns d's class id, allocating a new class when unseen.
 func (c *Classifier) Classify(d *DiDense) int {
+	c.keyBuf = d.AppendBits(c.keyBuf[:0])
+	if id, ok := c.byRaw[string(c.keyBuf)]; ok {
+		return id
+	}
 	inv := Invariant(d)
-	for _, id := range c.byInv[inv] {
-		if vf2DirMap(c.reps[id], d) != nil {
-			return id
+	id := -1
+	for _, cid := range c.byInv[inv] {
+		if vf2DirMap(c.reps[cid], d) != nil {
+			id = cid
+			break
 		}
 	}
-	id := len(c.reps)
-	c.reps = append(c.reps, d.Clone())
-	c.byInv[inv] = append(c.byInv[inv], id)
+	if id < 0 {
+		id = len(c.reps)
+		c.reps = append(c.reps, d.Clone())
+		c.byInv[inv] = append(c.byInv[inv], id)
+	}
+	c.byRaw[string(c.keyBuf)] = id
 	return id
+}
+
+// OccMapping returns vf2DirMap(c.Rep(id), d) for a graph d previously
+// classified into class id, memoized by d's raw arc bits. Callers must
+// treat the returned slice as read-only.
+func (c *Classifier) OccMapping(id int, d *DiDense) []int {
+	c.keyBuf = d.AppendBits(c.keyBuf[:0])
+	if mp, ok := c.occMap[string(c.keyBuf)]; ok {
+		return mp
+	}
+	mp := vf2DirMap(c.reps[id], d)
+	if c.occMap == nil {
+		c.occMap = map[string][]int{}
+	}
+	c.occMap[string(c.keyBuf)] = mp
+	return mp
 }

@@ -123,6 +123,15 @@ func (g *DiGraph) weakNeighbors(v int, f func(w int32)) {
 // InducedDi returns the directed induced subgraph on vs, in vs order.
 func (g *DiGraph) InducedDi(vs []int32) *DiDense {
 	d := NewDiDense(len(vs))
+	g.FillInducedDi(d, vs)
+	return d
+}
+
+// FillInducedDi resets d to the directed induced subgraph on vs, in vs
+// order: the scratch-reuse variant of InducedDi for the miner's per-
+// candidate loop.
+func (g *DiGraph) FillInducedDi(d *DiDense, vs []int32) {
+	d.Reset(len(vs))
 	for i := range vs {
 		for j := range vs {
 			if i != j && g.HasArc(int(vs[i]), int(vs[j])) {
@@ -130,7 +139,6 @@ func (g *DiGraph) InducedDi(vs []int32) *DiDense {
 			}
 		}
 	}
-	return d
 }
 
 // Randomize returns an in/out-degree-preserving randomization via directed

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"lamofinder/internal/graph"
 	"lamofinder/internal/label"
 	"lamofinder/internal/motif"
 	"lamofinder/internal/ontology"
@@ -28,10 +29,34 @@ func (m *Motif) String() string {
 	return fmt.Sprintf("dimotif%s freq=%d uniq=%.2f", m.Pattern, m.Frequency, m.Uniqueness)
 }
 
+// diClassState is a directed pattern class being grown at the current
+// level.
+type diClassState struct {
+	pattern *DiDense
+	str     string // pattern.String(), cached for the selection sort
+	occs    [][]int32
+	freq    int
+}
+
+// patStr returns the cached pattern arc-list string (the selection sort's
+// final tiebreak); distinct classes render distinct strings.
+func (cs *diClassState) patStr() string {
+	if cs.str == "" {
+		cs.str = cs.pattern.String()
+	}
+	return cs.str
+}
+
 // Find mines frequent weakly connected directed patterns level-by-level,
 // mirroring the undirected beam miner: occurrences are extended by one weak
 // neighbor, regrouped by directed isomorphism class, pruned by frequency,
 // and capped by beam width with reservoir-sampled occurrence lists.
+//
+// Like the undirected miner, the per-candidate loop reuses everything:
+// candidate sets dedup through an epoch-stamped hash set, induced directed
+// subgraphs fill a scratch DiDense, class state is a slice indexed by the
+// classifier's dense first-seen ids, and stored occurrences carve from a
+// slab arena with in-place reservoir replacement (DESIGN.md §13).
 func Find(g *DiGraph, cfg motif.Config) []*Motif {
 	if cfg.MinSize < 2 {
 		cfg.MinSize = 2
@@ -41,52 +66,49 @@ func Find(g *DiGraph, cfg motif.Config) []*Motif {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	type classState struct {
-		pattern *DiDense
-		occs    [][]int32
-		freq    int
-	}
+	var arena graph.OccArena
+	var seenSets graph.VSetDedup
+	var d DiDense
+
 	// Level 2: the two weak-edge classes (single arc u->v; mutual arcs).
-	lvl2 := map[int]*classState{}
+	var level []*diClassState // indexed by class id (dense, first-seen order)
 	cl2 := NewClassifier()
-	seen2 := map[[2]int32]bool{}
+	seenSets.Reset(2)
+	var pair [2]int32
 	for u := 0; u < g.N(); u++ {
 		g.weakNeighbors(u, func(w int32) {
 			a, b := int32(u), w
 			if a > b {
 				a, b = b, a
 			}
-			key := [2]int32{a, b}
-			if seen2[key] {
+			pair[0], pair[1] = a, b
+			if !seenSets.Insert(pair[:]) {
 				return
 			}
-			seen2[key] = true
-			d := g.InducedDi([]int32{a, b})
-			id := cl2.Classify(d)
-			cs := lvl2[id]
-			if cs == nil {
-				cs = &classState{pattern: cl2.Rep(id)}
-				lvl2[id] = cs
+			g.FillInducedDi(&d, pair[:])
+			id := cl2.Classify(&d)
+			if id == len(level) {
+				level = append(level, &diClassState{pattern: cl2.Rep(id)})
 			}
+			cs := level[id]
 			cs.freq++
-			mp := vf2DirMap(cs.pattern, d)
-			pair := []int32{a, b}
-			occ := []int32{pair[mp[0]], pair[mp[1]]}
+			var occ []int32
 			if cfg.MaxOccPerClass == 0 || len(cs.occs) < cfg.MaxOccPerClass {
+				occ = arena.Take(pair[:])
 				cs.occs = append(cs.occs, occ)
 			} else if r := rng.Intn(cs.freq); r < cfg.MaxOccPerClass {
-				cs.occs[r] = occ
+				occ = cs.occs[r]
+			}
+			if occ != nil {
+				mp := cl2.OccMapping(id, &d)
+				occ[0], occ[1] = pair[mp[0]], pair[mp[1]]
 			}
 		})
 	}
-	level := make([]*classState, 0, len(lvl2))
-	for _, cs := range lvl2 {
-		level = append(level, cs)
-	}
-	sort.Slice(level, func(i, j int) bool { return level[i].freq > level[j].freq })
+	sort.SliceStable(level, func(i, j int) bool { return level[i].freq > level[j].freq })
 
 	var out []*Motif
-	emit := func(cs *classState, size int) {
+	emit := func(cs *diClassState, size int) {
 		if size >= cfg.MinSize && cs.freq >= cfg.MinFreq {
 			out = append(out, &Motif{
 				Pattern:     cs.pattern,
@@ -104,15 +126,14 @@ func Find(g *DiGraph, cfg motif.Config) []*Motif {
 
 	for size := 3; size <= cfg.MaxSize && len(level) > 0; size++ {
 		cl := NewClassifier()
-		next := map[int]*classState{}
-		seenSets := map[string]bool{}
+		var next []*diClassState // indexed by class id
+		seenSets.Reset(size)
 		sortedOcc := make([]int32, 0, size)
-		keyBuf := make([]byte, 4*size)
 		vsBuf := make([]int32, size)
 		for _, cs := range level {
 			for _, occ := range cs.occs {
 				sortedOcc = append(sortedOcc[:0], occ...)
-				sort.Slice(sortedOcc, func(i, j int) bool { return sortedOcc[i] < sortedOcc[j] })
+				insertSort32(sortedOcc)
 				for _, v := range occ {
 					g.weakNeighbors(int(v), func(w int32) {
 						if contains32(occ, w) {
@@ -126,44 +147,34 @@ func Find(g *DiGraph, cfg motif.Config) []*Motif {
 						}
 						vs[pos] = w
 						copy(vs[pos+1:], sortedOcc[pos:])
-						for i, x := range vs {
-							keyBuf[4*i] = byte(x)
-							keyBuf[4*i+1] = byte(x >> 8)
-							keyBuf[4*i+2] = byte(x >> 16)
-							keyBuf[4*i+3] = byte(x >> 24)
-						}
-						if seenSets[string(keyBuf)] {
+						if !seenSets.Insert(vs) {
 							return
 						}
-						seenSets[string(keyBuf)] = true
-						d := g.InducedDi(vs)
-						id := cl.Classify(d)
+						g.FillInducedDi(&d, vs)
+						id := cl.Classify(&d)
+						if id == len(next) {
+							next = append(next, &diClassState{pattern: cl.Rep(id)})
+						}
 						ns := next[id]
-						if ns == nil {
-							ns = &classState{pattern: cl.Rep(id)}
-							next[id] = ns
-						}
 						ns.freq++
-						slot := -1
+						var no []int32
 						if cfg.MaxOccPerClass == 0 || len(ns.occs) < cfg.MaxOccPerClass {
-							slot = len(ns.occs)
-							ns.occs = append(ns.occs, nil)
+							no = arena.Take(vs)
+							ns.occs = append(ns.occs, no)
 						} else if r := rng.Intn(ns.freq); r < cfg.MaxOccPerClass {
-							slot = r
+							no = ns.occs[r]
 						}
-						if slot >= 0 {
-							mp := vf2DirMap(ns.pattern, d)
-							no := make([]int32, len(vs))
+						if no != nil {
+							mp := cl.OccMapping(id, &d)
 							for i := range vs {
 								no[i] = vs[mp[i]]
 							}
-							ns.occs[slot] = no
 						}
 					})
 				}
 			}
 		}
-		var kept []*classState
+		var kept []*diClassState
 		for _, ns := range next {
 			if ns.freq >= cfg.MinFreq {
 				kept = append(kept, ns)
@@ -173,7 +184,7 @@ func Find(g *DiGraph, cfg motif.Config) []*Motif {
 			if kept[i].freq != kept[j].freq {
 				return kept[i].freq > kept[j].freq
 			}
-			return kept[i].pattern.String() < kept[j].pattern.String()
+			return kept[i].patStr() < kept[j].patStr()
 		})
 		if cfg.BeamWidth > 0 && len(kept) > cfg.BeamWidth {
 			kept = kept[:cfg.BeamWidth]
@@ -190,6 +201,17 @@ func Find(g *DiGraph, cfg motif.Config) []*Motif {
 		return out[i].Frequency > out[j].Frequency
 	})
 	return out
+}
+
+// insertSort32 sorts a short int32 slice ascending in place.
+//
+// alloc-budget: 0
+func insertSort32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 func contains32(s []int32, x int32) bool {

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"math/bits"
-	"sort"
 )
 
 // canonExactMax is the largest vertex count for which CanonicalKey computes
@@ -11,11 +10,13 @@ import (
 // isomorphism checks (see Classifier).
 const canonExactMax = 8
 
-// wlColors returns per-vertex colors from iterated Weisfeiler-Leman style
-// refinement: an isomorphism-invariant vertex signature. It is the hottest
-// function in meso-scale mining, so it works in stack buffers and performs
-// a single result allocation.
-func wlColors(d *Dense) []uint64 {
+// wlColors fills out with per-vertex colors from iterated Weisfeiler-Leman
+// style refinement: an isomorphism-invariant vertex signature. It is the
+// hottest function in meso-scale mining, so it works entirely in stack and
+// caller-provided buffers and performs no allocation.
+//
+// alloc-budget: 0
+func wlColors(d *Dense, out *[MaxDense]uint64) {
 	var curArr, nextArr, neighArr [MaxDense]uint64
 	n := d.n
 	cur, next := curArr[:n], nextArr[:n]
@@ -37,9 +38,7 @@ func wlColors(d *Dense) []uint64 {
 		}
 		cur, next = next, cur
 	}
-	out := make([]uint64, n)
-	copy(out, cur)
-	return out
+	copy(out[:n], cur)
 }
 
 // sortUint64 sorts a short slice in place (insertion sort; motif patterns
@@ -55,8 +54,12 @@ func sortUint64(s []uint64) {
 // Invariant returns an isomorphism-invariant hash of d. Two isomorphic
 // graphs always share an invariant; two graphs with the same invariant are
 // usually, but not necessarily, isomorphic.
+//
+// alloc-budget: 0
 func Invariant(d *Dense) uint64 {
-	cols := wlColors(d)
+	var colArr [MaxDense]uint64
+	wlColors(d, &colArr)
+	cols := colArr[:d.n]
 	sortUint64(cols)
 	h := uint64(d.n)*0x9e3779b97f4a7c15 + uint64(d.M())
 	for _, c := range cols {
@@ -76,97 +79,139 @@ func CanonicalKey(d *Dense) string {
 	if d.n > canonExactMax {
 		panic("graph: CanonicalKey limited to 8 vertices; use Classifier")
 	}
-	// Group vertices into invariant color classes; the canonical permutation
-	// orders classes by (count, color) and permutes only within classes.
-	cols := wlColors(d)
-	best := canonSearch(d, cols)
-	return best.bitsKey()
-}
-
-// canonSearch finds the lexicographically minimal relabeling of d that is
-// compatible with the color classes.
-func canonSearch(d *Dense, cols []uint64) *Dense {
-	n := d.n
-	// Order vertices into cells: vertices sharing a color are interchangeable
-	// candidates for the same canonical positions.
-	type cell struct {
-		color uint64
-		verts []int
-	}
-	byColor := map[uint64][]int{}
-	for v, c := range cols {
-		byColor[c] = append(byColor[c], v)
-	}
-	cells := make([]cell, 0, len(byColor))
-	for c, vs := range byColor {
-		cells = append(cells, cell{c, vs})
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if len(cells[i].verts) != len(cells[j].verts) {
-			return len(cells[i].verts) < len(cells[j].verts)
-		}
-		return cells[i].color < cells[j].color
-	})
-	pool := make([][]int, 0, n) // candidate vertex pool per canonical position
-	for _, c := range cells {
-		for range c.verts {
-			pool = append(pool, c.verts)
-		}
-	}
-
-	// The canonical form is the lexicographically minimal sequence of
-	// lower-triangle rows: curRows[pos] holds the adjacency bits of the
-	// vertex placed at position pos toward positions 0..pos-1.
-	perm := make([]int, n)
-	used := make([]bool, n)
-	curRows := make([]uint32, n)
-	var bestRows []uint32
-
-	var rec func(pos int, tight bool)
-	rec = func(pos int, tight bool) {
-		if pos == n {
-			if bestRows == nil {
-				bestRows = append([]uint32(nil), curRows...)
-			} else if lexLess(curRows, bestRows) {
-				copy(bestRows, curRows)
-			}
-			return
-		}
-		for _, v := range pool[pos] {
-			if used[v] {
-				continue
-			}
-			var row uint32
-			for p := 0; p < pos; p++ {
-				if d.HasEdge(v, perm[p]) {
-					row |= 1 << uint(p)
-				}
-			}
-			nt := tight
-			if bestRows != nil && tight {
-				if row > bestRows[pos] {
-					continue // lexicographically worse; prune
-				}
-				nt = row == bestRows[pos]
-			}
-			perm[pos] = v
-			used[v] = true
-			curRows[pos] = row
-			rec(pos+1, nt)
-			used[v] = false
-		}
-	}
-	rec(0, true)
-
-	best := NewDense(n)
-	for i := 0; i < n; i++ {
+	var rows [canonExactMax]uint32
+	canonRows(d, &rows)
+	best := NewDense(d.n)
+	for i := 0; i < d.n; i++ {
 		for p := 0; p < i; p++ {
-			if bestRows[i]&(1<<uint(p)) != 0 {
+			if rows[i]&(1<<uint(p)) != 0 {
 				best.AddEdge(i, p)
 			}
 		}
 	}
-	return best
+	return best.bitsKey()
+}
+
+// canonState is the stack-resident state of the canonical permutation
+// search. Everything is fixed-size arrays and bitmasks so a search performs
+// zero heap allocations — it runs once per classifier miss, which under
+// meso-scale mining is once per distinct labeled shape.
+type canonState struct {
+	d        *Dense
+	n        int
+	vorder   [canonExactMax]int // vertices sorted by (cell size, color, id)
+	runEnd   [canonExactMax]int // end of the color run containing position i
+	runStart [canonExactMax]int
+	perm     [canonExactMax]int
+	curRows  [canonExactMax]uint32
+	bestRows [canonExactMax]uint32
+	used     uint32 // vertex bitmask
+	haveBest bool
+}
+
+// canonRows computes the canonical form of d (n <= canonExactMax) into
+// rows: the lexicographically minimal sequence of lower-triangle adjacency
+// rows over all permutations compatible with the invariant color classes.
+// rows[pos] holds the adjacency bits of the vertex placed at pos toward
+// positions 0..pos-1.
+func canonRows(d *Dense, rows *[canonExactMax]uint32) {
+	n := d.n
+	var colArr [MaxDense]uint64
+	wlColors(d, &colArr)
+	cols := colArr[:n]
+
+	// Group vertices into cells: vertices sharing a color are
+	// interchangeable candidates for the same canonical positions. Cells
+	// are ordered by (size, color); within a cell, ascending vertex id.
+	var st canonState
+	st.d, st.n = d, n
+	var size [canonExactMax]int
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if cols[u] == cols[v] {
+				size[v]++
+			}
+		}
+		st.vorder[v] = v
+	}
+	vless := func(a, b int) bool {
+		if size[a] != size[b] {
+			return size[a] < size[b]
+		}
+		if cols[a] != cols[b] {
+			return cols[a] < cols[b]
+		}
+		return a < b
+	}
+	vo := st.vorder[:n]
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vless(vo[j], vo[j-1]); j-- {
+			vo[j], vo[j-1] = vo[j-1], vo[j]
+		}
+	}
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && cols[vo[hi]] == cols[vo[lo]] {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			st.runStart[i], st.runEnd[i] = lo, hi
+		}
+		lo = hi
+	}
+
+	st.rec(0, true)
+	*rows = st.bestRows
+}
+
+func (st *canonState) rec(pos int, tight bool) {
+	if pos == st.n {
+		if !st.haveBest {
+			st.bestRows = st.curRows
+			st.haveBest = true
+		} else if lexLess(st.curRows[:st.n], st.bestRows[:st.n]) {
+			st.bestRows = st.curRows
+		}
+		return
+	}
+	for i := st.runStart[pos]; i < st.runEnd[pos]; i++ {
+		v := st.vorder[i]
+		if st.used&(1<<uint(v)) != 0 {
+			continue
+		}
+		var row uint32
+		for p := 0; p < pos; p++ {
+			if st.d.HasEdge(v, st.perm[p]) {
+				row |= 1 << uint(p)
+			}
+		}
+		nt := tight
+		if st.haveBest && tight {
+			if row > st.bestRows[pos] {
+				continue // lexicographically worse; prune
+			}
+			nt = row == st.bestRows[pos]
+		}
+		st.perm[pos] = v
+		st.used |= 1 << uint(v)
+		st.curRows[pos] = row
+		st.rec(pos+1, nt)
+		st.used &^= 1 << uint(v)
+	}
+}
+
+// canonCode packs a canonical row sequence into one comparable word:
+// position rows in the low seven bytes (row 0 is always empty), the vertex
+// count in the top byte. For n <= canonExactMax = 8 every row fits its
+// byte, so the packing is injective — equal codes mean isomorphic graphs.
+//
+// alloc-budget: 0
+func canonCode(n int, rows *[canonExactMax]uint32) uint64 {
+	code := uint64(n) << 56
+	for i := 1; i < n; i++ {
+		code |= uint64(rows[i]) << (8 * (i - 1))
+	}
+	return code
 }
 
 // lexLess reports whether row sequence a is lexicographically smaller than b.
@@ -199,15 +244,16 @@ func Isomorphic(a, b *Dense) bool {
 // resolved by VF2 (meso-scale graphs).
 type Classifier struct {
 	byRaw  map[string]int   // raw (uncanonicalized) adjacency bits -> class id
-	byKey  map[string]int   // exact canonical key -> class id (n <= canonExactMax)
+	byKey  map[uint64]int   // packed canonical code -> class id (n <= canonExactMax)
 	byInv  map[uint64][]int // invariant -> candidate class ids (n > canonExactMax)
 	reps   []*Dense         // class id -> representative
 	occMap map[string][]int // raw adjacency bits -> rep-order mapping (see OccMapping)
+	keyBuf []byte           // scratch for raw-bits lookups (no alloc on hits)
 }
 
 // NewClassifier returns an empty classifier.
 func NewClassifier() *Classifier {
-	return &Classifier{byRaw: map[string]int{}, byKey: map[string]int{}, byInv: map[uint64][]int{}}
+	return &Classifier{byRaw: map[string]int{}, byKey: map[uint64]int{}, byInv: map[uint64][]int{}}
 }
 
 // NumClasses returns the number of distinct isomorphism classes seen.
@@ -225,13 +271,16 @@ func (c *Classifier) Rep(id int) *Dense { return c.reps[id] }
 // raw-bits lookup skips the canonical search entirely on those hits. The
 // cache is an implementation detail — it cannot change any class id, only
 // the cost of computing it.
+// The raw key is built in a reused scratch buffer: the map lookup through
+// string(buf) compiles to an alloc-free probe, so steady-state hits cost
+// zero allocations; only a first-seen labeled shape pays the string copy.
 func (c *Classifier) Classify(d *Dense) int {
-	raw := d.bitsKey()
-	if id, ok := c.byRaw[raw]; ok {
+	c.keyBuf = d.AppendBits(c.keyBuf[:0])
+	if id, ok := c.byRaw[string(c.keyBuf)]; ok {
 		return id
 	}
 	id := c.classifySlow(d)
-	c.byRaw[raw] = id
+	c.byRaw[string(c.keyBuf)] = id
 	return id
 }
 
@@ -240,16 +289,19 @@ func (c *Classifier) Classify(d *Dense) int {
 // labeled graphs always yield the identical mapping, and enumeration
 // presents the same labeled shapes repeatedly. Callers must treat the
 // returned slice as read-only.
+// Like Classify, the raw-bits memo is probed through the scratch buffer, so
+// repeat shapes — the overwhelmingly common case under enumeration — cost
+// zero allocations.
 func (c *Classifier) OccMapping(id int, d *Dense) []int {
-	raw := d.bitsKey()
-	if mp, ok := c.occMap[raw]; ok {
+	c.keyBuf = d.AppendBits(c.keyBuf[:0])
+	if mp, ok := c.occMap[string(c.keyBuf)]; ok {
 		return mp
 	}
 	mp := IsoMapping(c.reps[id], d)
 	if c.occMap == nil {
 		c.occMap = map[string][]int{}
 	}
-	c.occMap[raw] = mp
+	c.occMap[string(c.keyBuf)] = mp
 	return mp
 }
 
@@ -257,7 +309,9 @@ func (c *Classifier) OccMapping(id int, d *Dense) []int {
 // small graphs, invariant buckets plus VF2 for meso-scale ones.
 func (c *Classifier) classifySlow(d *Dense) int {
 	if d.n <= canonExactMax {
-		k := CanonicalKey(d)
+		var rows [canonExactMax]uint32
+		canonRows(d, &rows)
+		k := canonCode(d.n, &rows)
 		if id, ok := c.byKey[k]; ok {
 			return id
 		}

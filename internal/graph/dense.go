@@ -33,6 +33,20 @@ func NewDense(n int) *Dense {
 // N returns the number of vertices.
 func (d *Dense) N() int { return d.n }
 
+// Reset clears d back to n isolated vertices in place, letting enumeration
+// loops reuse one Dense as scratch instead of allocating per subgraph.
+//
+// invariant: 0 <= n <= MaxDense — same bound as NewDense.
+func (d *Dense) Reset(n int) {
+	if n < 0 || n > MaxDense {
+		panic(fmt.Sprintf("graph: dense graph size %d out of range [0,%d]", n, MaxDense))
+	}
+	for i := 0; i < d.n; i++ {
+		d.rows[i] = 0
+	}
+	d.n = n
+}
+
 // M returns the number of edges.
 func (d *Dense) M() int {
 	m := 0
@@ -161,11 +175,20 @@ func (d *Dense) String() string {
 // bitsKey packs the upper-triangle adjacency bits into a comparable string,
 // suitable as a map key for a fixed vertex labeling.
 func (d *Dense) bitsKey() string {
-	buf := make([]byte, 0, d.n*4+1)
+	return string(d.AppendBits(make([]byte, 0, d.n*4+1)))
+}
+
+// AppendBits appends the raw adjacency-bits key of d to buf and returns the
+// extended slice. Classifier lookups use it with a reused scratch buffer so
+// the per-subgraph hot path performs zero allocations; bitsKey is the
+// allocating convenience wrapper.
+//
+// alloc-budget: 0
+func (d *Dense) AppendBits(buf []byte) []byte {
 	buf = append(buf, byte(d.n))
 	for i := 0; i < d.n; i++ {
 		r := d.rows[i]
 		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
 	}
-	return string(buf)
+	return buf
 }

@@ -11,7 +11,10 @@ func IsoMapping(a, b *Dense) []int {
 	if n != b.n || a.M() != b.M() {
 		return nil
 	}
-	ca, cb := wlColors(a), wlColors(b)
+	var caArr, cbArr [MaxDense]uint64
+	wlColors(a, &caArr)
+	wlColors(b, &cbArr)
+	ca, cb := caArr[:n], cbArr[:n]
 	cand := make([]uint32, n)
 	for u := 0; u < n; u++ {
 		var m uint32

@@ -9,7 +9,10 @@ func vf2DenseIso(a, b *Dense) bool {
 	if n != b.n {
 		return false
 	}
-	ca, cb := wlColors(a), wlColors(b)
+	var caArr, cbArr [MaxDense]uint64
+	wlColors(a, &caArr)
+	wlColors(b, &cbArr)
+	ca, cb := caArr[:n], cbArr[:n]
 	// Candidate sets: vertex u of a may map only to vertices of b with the
 	// same color.
 	cand := make([]uint32, n)
@@ -61,7 +64,9 @@ func vf2DenseIso(a, b *Dense) bool {
 // identity is always included.
 func Automorphisms(d *Dense, cap int) [][]int {
 	n := d.n
-	cols := wlColors(d)
+	var colArr [MaxDense]uint64
+	wlColors(d, &colArr)
+	cols := colArr[:n]
 	cand := make([]uint32, n)
 	for u := 0; u < n; u++ {
 		var m uint32

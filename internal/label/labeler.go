@@ -321,7 +321,7 @@ func (l *Labeler) merge(a, b *clusterState, sym *Symmetry) *clusterState {
 	_, pairing := l.sim.Occurrence(a.scheme, b.scheme, sym)
 	m := &clusterState{scheme: make([][]int32, nv)}
 	for v := 0; v < nv; v++ {
-		m.scheme[v] = LeastGeneral(l.o, l.w, a.scheme[v], b.scheme[pairing[v]], l.cfg.MaxLabelsPerVertex)
+		m.scheme[v] = LeastGeneralIndexed(l.sim.lca, a.scheme[v], b.scheme[pairing[v]], l.cfg.MaxLabelsPerVertex)
 	}
 	m.occs = append(m.occs, a.occs...)
 	for _, occ := range b.occs {

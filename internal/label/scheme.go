@@ -15,6 +15,18 @@ import (
 // The result is capped to maxTerms lowest-weight (most specific) terms when
 // maxTerms > 0.
 func LeastGeneral(o *ontology.Ontology, w ontology.Weights, a, b []int32, maxTerms int) []int32 {
+	return leastGeneral(func(ta, tb int) int { return o.LCA(w, ta, tb) }, o, w, a, b, maxTerms)
+}
+
+// LeastGeneralIndexed is LeastGeneral against a prebuilt LCA index (built
+// over the same ontology and weights); the merge loop in the labeler's
+// clustering pass calls this per cross pair, so the O(1)/short-scan index
+// lookup replaces a full ancestor-bitset intersection each time.
+func LeastGeneralIndexed(idx *ontology.LCAIndex, a, b []int32, maxTerms int) []int32 {
+	return leastGeneral(idx.LCA, idx.Ontology(), idx.Weights(), a, b, maxTerms)
+}
+
+func leastGeneral(lca func(ta, tb int) int, o *ontology.Ontology, w ontology.Weights, a, b []int32, maxTerms int) []int32 {
 	if len(a) == 0 {
 		return capTerms(o, w, dedup(b), maxTerms)
 	}
@@ -25,7 +37,7 @@ func LeastGeneral(o *ontology.Ontology, w ontology.Weights, a, b []int32, maxTer
 	var cand []int32
 	for _, ta := range a {
 		for _, tb := range b {
-			m := o.LCA(w, int(ta), int(tb))
+			m := lca(int(ta), int(tb))
 			if m < 0 || seen[int32(m)] {
 				continue
 			}

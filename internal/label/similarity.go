@@ -103,22 +103,31 @@ func (c *stCache) get(ta, tb int, f func() float64) float64 {
 // safe for concurrent use: the memo table is sharded (see stCache), and the
 // ontology and weights are read-only.
 type Sim struct {
-	o  *ontology.Ontology
-	w  ontology.Weights
-	st *stCache
+	o   *ontology.Ontology
+	w   ontology.Weights
+	lca *ontology.LCAIndex
+	st  *stCache
 }
 
 // NewSim returns a similarity calculator over the given ontology/weights.
+// It builds an LCA index once, so cache misses answer in O(1) on tree
+// ontologies (and via short weight-sorted scans on DAGs) instead of
+// walking ancestor bitsets per term pair; the stCache stays purely a
+// fast-path memo in front of that.
 func NewSim(o *ontology.Ontology, w ontology.Weights) *Sim {
-	return &Sim{o: o, w: w, st: newSTCache(o.NumTerms())}
+	return &Sim{o: o, w: w, lca: ontology.NewLCAIndex(o, w), st: newSTCache(o.NumTerms())}
 }
+
+// LCAIndex exposes the prebuilt min-weight LCA index (same ontology and
+// weights as the Sim).
+func (s *Sim) LCAIndex() *ontology.LCAIndex { return s.lca }
 
 // Term returns the Lin similarity ST(ta, tb) (Eq. 1), memoized.
 func (s *Sim) Term(ta, tb int) float64 {
 	if ta > tb {
 		ta, tb = tb, ta
 	}
-	return s.st.get(ta, tb, func() float64 { return s.o.Lin(s.w, ta, tb) })
+	return s.st.get(ta, tb, func() float64 { return s.lca.Lin(ta, tb) })
 }
 
 // Vertex returns SV(vi, vj) (Eq. 2) for two direct-annotation term sets:

@@ -1,6 +1,7 @@
 package motif
 
 import (
+	"math/bits"
 	"sort"
 
 	"lamofinder/internal/graph"
@@ -9,12 +10,15 @@ import (
 
 // EnumerateESU enumerates every connected vertex set of size k exactly once
 // (Wernicke's ESU algorithm, the core of FANMOD) and calls visit with the
-// sorted vertex set. visit may return false to stop the enumeration early.
+// sorted vertex set. The slice passed to visit is scratch reused across
+// subgraphs: copy it if it must outlive the call. visit may return false to
+// stop the enumeration early.
 func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
 	if k <= 0 {
 		return
 	}
-	enumerateESURange(g, k, 0, g.N(), visit)
+	csr, bits := graph.NewCSR(g), graph.NewAdjBits(g)
+	enumerateESURange(newESUScratch(csr, bits, k), 0, g.N(), visit)
 }
 
 // enumerateESURange enumerates every connected k-set whose ESU root (the
@@ -22,84 +26,109 @@ func EnumerateESU(g *graph.Graph, k int, visit func(vs []int32) bool) {
 // union over a partition of [0, n) is exactly the full enumeration, which
 // is what lets the census fan roots out to workers. It reports whether the
 // enumeration ran to completion (visit never returned false).
-func enumerateESURange(g *graph.Graph, k, lo, hi int, visit func(vs []int32) bool) bool {
-	sub := make([]int32, 0, k)
-	stopped := false
-
-	var extend func(ext []int32, root int32)
-	extend = func(ext []int32, root int32) {
-		if stopped {
-			return
-		}
-		if len(sub) == k {
-			vs := append([]int32(nil), sub...)
-			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-			if !visit(vs) {
-				stopped = true
-			}
-			return
-		}
-		// Iterate over a private copy: we shrink ext as we consume choices
-		// to maintain ESU's "each set once" guarantee.
-		for len(ext) > 0 {
-			w := ext[len(ext)-1]
-			ext = ext[:len(ext)-1]
-			// Build the extension for the recursive call: ext plus the
-			// exclusive neighbors of w (neighbors > root not adjacent to
-			// the current subgraph).
-			next := append([]int32(nil), ext...)
-			for _, u := range g.Neighbors(int(w)) {
-				if u <= root {
-					continue
-				}
-				if contains(sub, u) || u == w {
-					continue
-				}
-				// u must not be adjacent to any current subgraph vertex
-				// (otherwise it is already in some extension set).
-				excl := true
-				for _, s := range sub {
-					if g.HasEdge(int(u), int(s)) {
-						excl = false
-						break
-					}
-				}
-				if excl && !contains(next, u) {
-					next = append(next, u)
-				}
-			}
-			sub = append(sub, w)
-			extend(next, root)
-			sub = sub[:len(sub)-1]
-			if stopped {
-				return
-			}
-		}
-	}
-
+//
+// The ranges, candidate order, and visit order are identical to the
+// original map-and-slice formulation (TestCensusESUMatchesReference pins
+// this); only the memory behavior changed — extension sets live in the
+// scratch arena, exclusive neighborhoods come from word-level bitset
+// kernels, and the inner loops are allocation-free.
+func enumerateESURange(s *esuScratch, lo, hi int, visit func(vs []int32) bool) bool {
 	for v := lo; v < hi; v++ {
-		var ext []int32
-		for _, u := range g.Neighbors(v) {
-			if u > int32(v) {
-				ext = append(ext, u)
-			}
-		}
-		sub = append(sub[:0], int32(v))
-		extend(ext, int32(v))
-		if stopped {
+		if !s.enumerateRoot(int32(v), visit) {
 			return false
 		}
 	}
 	return true
 }
 
-func contains(s []int32, x int32) bool {
-	for _, v := range s {
-		if v == x {
-			return true
+// enumerateRoot enumerates every connected k-set rooted at v (v is the
+// minimum vertex of each set).
+func (s *esuScratch) enumerateRoot(v int32, visit func(vs []int32) bool) bool {
+	// Root extension set: neighbors of v greater than v, ascending.
+	row := s.g.Neighbors(int(v))
+	i := sort.Search(len(row), func(i int) bool { return row[i] > v })
+	ext := row[i:]
+	s.grow(len(ext))
+	copy(s.ext, ext)
+	s.top = len(ext)
+
+	s.sub = append(s.sub[:0], v)
+	// Depth-1 covered mask: the root and everything adjacent to it.
+	cov := s.coveredAt(1)
+	for i := range cov {
+		cov[i] = 0
+	}
+	s.bits.OrRowInto(cov, int(v))
+	return s.extend(0, s.top, visit)
+}
+
+// extend is the ESU recursion: consume the extension segment [extLo, extHi)
+// of the arena back to front, building each child's extension segment at
+// the arena top from the parent's remainder plus w's exclusive neighbors.
+//
+// The classic formulation re-checks each candidate against the subgraph,
+// the extension set, and w; with the covered mask those checks collapse
+// into one word-level and-not (see graph.AdjBits.ExclusiveInto) — an
+// exclusive neighbor is never in the extension set, because every
+// extension entry is adjacent to the current subgraph by construction.
+func (s *esuScratch) extend(extLo, extHi int, visit func(vs []int32) bool) bool {
+	if len(s.sub) == s.k {
+		return visit(s.sortedSub())
+	}
+	depth := len(s.sub)
+	root := int(s.sub[0])
+	for extHi > extLo {
+		w := s.ext[extHi-1]
+		extHi--
+		// Child extension = parent remainder + exclusive neighbors of w.
+		cnt := s.bits.ExclusiveInto(s.cand, s.coveredAt(depth), int(w), root)
+		childLo := s.top
+		childHi := childLo + (extHi - extLo) + cnt
+		s.grow(childHi)
+		copy(s.ext[childLo:], s.ext[extLo:extHi])
+		p := childLo + (extHi - extLo)
+		for u := nextBit(s.cand, 0); u >= 0; u = nextBit(s.cand, u+1) {
+			s.ext[p] = int32(u)
+			p++
+		}
+		// Push w: stack the next covered mask and recurse.
+		s.sub = append(s.sub, w)
+		cov, next := s.coveredAt(depth), s.coveredAt(depth+1)
+		copy(next, cov)
+		s.bits.OrRowInto(next, int(w))
+		s.top = childHi
+		ok := s.extend(childLo, childHi, visit)
+		s.top = childLo
+		s.sub = s.sub[:depth]
+		if !ok {
+			return false
 		}
 	}
-	return false
+	return true
+}
+
+// nextBit returns the smallest set bit >= from in the word mask, or -1.
+//
+// alloc-budget: 0
+func nextBit(words []uint64, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from >> 6
+	if wi >= len(words) {
+		return -1
+	}
+	w := words[wi] >> uint(from&63) << uint(from&63)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(words) {
+			return -1
+		}
+		w = words[wi]
+	}
 }
 
 // esuRootChunk is the fixed number of ESU roots per work chunk. Chunk
@@ -108,12 +137,12 @@ func contains(s []int32, x int32) bool {
 const esuRootChunk = 64
 
 // chunkCensus is one root chunk's private census: a local classifier plus
-// per-class frequencies and capped occurrence lists, with class ids in
-// first-seen enumeration order.
+// per-class frequencies and capped occurrence lists. The classifier assigns
+// ids densely in first-seen order, so the motifs slice is both the by-class
+// index and the enumeration order — no map, no separate order list.
 type chunkCensus struct {
 	cl     *graph.Classifier
-	order  []int
-	motifs map[int]*Motif
+	motifs []*Motif // indexed by class id
 }
 
 // CensusESU counts, per isomorphism class, the connected induced size-k
@@ -132,27 +161,33 @@ func CensusESU(g *graph.Graph, k, maxOcc int) []*Motif {
 // chunking is worker-independent and the merge is ordered, the output —
 // class order, frequencies, and the identity and order of stored
 // occurrences — is the same at every parallelism level.
+//
+// The CSR and adjacency-bitmap views are built once and shared read-only
+// by every chunk worker; each worker owns an esuScratch arena and a
+// scratch Dense, so the per-subgraph loop allocates nothing.
 func CensusESUParallel(g *graph.Graph, k, maxOcc, workers int) []*Motif {
 	if k <= 0 {
 		return nil
 	}
 	n := g.N()
+	csr, bits := graph.NewCSR(g), graph.NewAdjBits(g)
 	chunks := make([]*chunkCensus, par.NumChunks(n, esuRootChunk))
 	par.Chunks(n, esuRootChunk, workers, func(c, lo, hi int) {
-		cc := &chunkCensus{cl: graph.NewClassifier(), motifs: map[int]*Motif{}}
-		enumerateESURange(g, k, lo, hi, func(vs []int32) bool {
-			d := g.Induced(vs)
-			id := cc.cl.Classify(d)
-			m := cc.motifs[id]
-			if m == nil {
-				m = &Motif{Pattern: cc.cl.Rep(id), Uniqueness: -1}
-				cc.motifs[id] = m
-				cc.order = append(cc.order, id)
+		cc := &chunkCensus{cl: graph.NewClassifier()}
+		scratch := newESUScratch(csr, bits, k)
+		var d graph.Dense
+		var arena graph.OccArena
+		enumerateESURange(scratch, lo, hi, func(vs []int32) bool {
+			fillInduced(&d, bits, vs)
+			id := cc.cl.Classify(&d)
+			if id == len(cc.motifs) {
+				cc.motifs = append(cc.motifs, &Motif{Pattern: cc.cl.Rep(id), Uniqueness: -1})
 			}
+			m := cc.motifs[id]
 			m.Frequency++
 			if maxOcc == 0 || len(m.Occurrences) < maxOcc {
-				mp := cc.cl.OccMapping(id, d)
-				occ := make([]int32, len(vs))
+				mp := cc.cl.OccMapping(id, &d)
+				occ := arena.Take(vs)
 				for i := range vs {
 					occ[i] = vs[mp[i]]
 				}
@@ -168,18 +203,14 @@ func CensusESUParallel(g *graph.Graph, k, maxOcc, workers int) []*Motif {
 	// translated from the local representative's vertex order to the global
 	// one before concatenation.
 	cl := graph.NewClassifier()
-	byClass := map[int]*Motif{}
-	var order []int
+	var byClass []*Motif // indexed by global class id, in first-seen order
 	for _, cc := range chunks {
-		for _, lid := range cc.order {
-			lm := cc.motifs[lid]
+		for _, lm := range cc.motifs {
 			gid := cl.Classify(lm.Pattern)
-			gm := byClass[gid]
-			if gm == nil {
-				gm = &Motif{Pattern: cl.Rep(gid), Uniqueness: -1}
-				byClass[gid] = gm
-				order = append(order, gid)
+			if gid == len(byClass) {
+				byClass = append(byClass, &Motif{Pattern: cl.Rep(gid), Uniqueness: -1})
 			}
+			gm := byClass[gid]
 			gm.Frequency += lm.Frequency
 			if len(lm.Occurrences) == 0 || (maxOcc != 0 && len(gm.Occurrences) >= maxOcc) {
 				continue
@@ -197,10 +228,16 @@ func CensusESUParallel(g *graph.Graph, k, maxOcc, workers int) []*Motif {
 			}
 		}
 	}
-	out := make([]*Motif, 0, len(order))
-	for _, gid := range order {
-		out = append(out, byClass[gid])
-	}
+	out := append([]*Motif(nil), byClass...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Frequency > out[j].Frequency })
 	return out
+}
+
+func contains(s []int32, x int32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }

@@ -52,8 +52,21 @@ func DefaultConfig() Config {
 // classState is a pattern class being grown at the current level.
 type classState struct {
 	pattern *graph.Dense
+	str     string    // pattern.String(), cached for the selection sorts
 	occs    [][]int32 // pattern-ordered occurrences
 	freq    int       // distinct vertex sets seen (may exceed len(occs))
+}
+
+// patStr returns the cached pattern edge-list string, used as the final
+// tiebreak of the beam-selection sorts. Distinct classes have distinct
+// representative labelings, hence distinct strings, so the comparators are
+// total orders; caching keeps String() out of the O(n log n) comparison
+// path.
+func (cs *classState) patStr() string {
+	if cs.str == "" {
+		cs.str = cs.pattern.String()
+	}
+	return cs.str
 }
 
 // Find mines frequent connected patterns of g level-by-level: every class's
@@ -61,6 +74,12 @@ type classState struct {
 // class, pruned by MinFreq, and capped by BeamWidth. It returns all classes
 // in [MinSize, MaxSize] meeting MinFreq, smallest size first, most frequent
 // first within a size. Uniqueness is left at -1; see ScoreUniqueness.
+//
+// The per-candidate loop is allocation-free in steady state: candidate
+// vertex sets dedup through an epoch-stamped hash set, induced subgraphs
+// fill a reused scratch Dense, classifier lookups probe through scratch
+// buffers, and stored occurrences carve from a slab arena (reservoir
+// replacement overwrites the evicted slot in place). See DESIGN.md §13.
 func Find(g *graph.Graph, cfg Config) []*Motif {
 	if cfg.MinSize < 2 {
 		cfg.MinSize = 2
@@ -72,33 +91,15 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 
 	// Adjacency bit matrix for O(1) edge tests during induced-subgraph
 	// construction (the hottest inner loop at meso-scale).
-	words := (g.N() + 63) / 64
-	bitadj := make([]uint64, g.N()*words)
-	for u := 0; u < g.N(); u++ {
-		row := bitadj[u*words : (u+1)*words]
-		for _, v := range g.Neighbors(u) {
-			row[v>>6] |= 1 << uint(v&63)
-		}
-	}
-	hasEdge := func(u, v int32) bool {
-		return bitadj[int(u)*words+int(v>>6)]&(1<<uint(v&63)) != 0
-	}
-	induced := func(vs []int32) *graph.Dense {
-		d := graph.NewDense(len(vs))
-		for i := 1; i < len(vs); i++ {
-			for j := 0; j < i; j++ {
-				if hasEdge(vs[i], vs[j]) {
-					d.AddEdge(i, j)
-				}
-			}
-		}
-		return d
-	}
+	bits := graph.NewAdjBits(g)
 
 	// Level 2: the single-edge class.
+	var arena graph.OccArena
 	edgeClass := &classState{pattern: edgePattern()}
+	var ebuf [2]int32
 	for _, e := range g.Edges(nil) {
-		edgeClass.occs = append(edgeClass.occs, []int32{e[0], e[1]})
+		ebuf[0], ebuf[1] = e[0], e[1]
+		edgeClass.occs = append(edgeClass.occs, arena.Take(ebuf[:]))
 	}
 	edgeClass.freq = len(edgeClass.occs)
 	level := []*classState{edgeClass}
@@ -119,24 +120,25 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 		emit(edgeClass, 2)
 	}
 
+	var seenSets graph.VSetDedup
+	var d graph.Dense
 	for size := 3; size <= cfg.MaxSize && len(level) > 0; size++ {
 		cl := graph.NewClassifier()
-		next := map[int]*classState{}
-		seenSets := map[string]bool{}
+		var next []*classState // indexed by class id (dense, first-seen order)
+		seenSets.Reset(size)
 		sortedOcc := make([]int32, 0, size)
-		keyBuf := make([]byte, 4*size)
 		vsBuf := make([]int32, size)
 		for _, cs := range level {
 			for _, occ := range cs.occs {
 				sortedOcc = append(sortedOcc[:0], occ...)
-				sort.Slice(sortedOcc, func(i, j int) bool { return sortedOcc[i] < sortedOcc[j] })
+				insertionSort32(sortedOcc)
 				for _, v := range occ {
 					for _, w := range g.Neighbors(int(v)) {
 						if contains(occ, w) {
 							continue
 						}
 						// Build the sorted candidate set (sortedOcc with w
-						// inserted) and its dedup key without allocating.
+						// inserted) and dedup it by exact content.
 						vs := vsBuf
 						pos := 0
 						for pos < len(sortedOcc) && sortedOcc[pos] < w {
@@ -145,41 +147,33 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 						}
 						vs[pos] = w
 						copy(vs[pos+1:], sortedOcc[pos:])
-						for i, x := range vs {
-							keyBuf[4*i] = byte(x)
-							keyBuf[4*i+1] = byte(x >> 8)
-							keyBuf[4*i+2] = byte(x >> 16)
-							keyBuf[4*i+3] = byte(x >> 24)
-						}
-						if seenSets[string(keyBuf)] {
+						if !seenSets.Insert(vs) {
 							continue
 						}
-						seenSets[string(keyBuf)] = true
-						d := induced(vs)
-						id := cl.Classify(d)
-						ns := next[id]
-						if ns == nil {
-							ns = &classState{pattern: cl.Rep(id)}
-							next[id] = ns
+						fillInduced(&d, bits, vs)
+						id := cl.Classify(&d)
+						if id == len(next) {
+							next = append(next, &classState{pattern: cl.Rep(id)})
 						}
+						ns := next[id]
 						ns.freq++
 						// Reservoir-sample the occurrence list so the kept
 						// occurrences are an unbiased sample of all distinct
 						// vertex sets, not just the first ones discovered.
-						slot := -1
+						// A replacement overwrites the evicted slot's slice
+						// in place — same width, no allocation.
+						var no []int32
 						if cfg.MaxOccPerClass == 0 || len(ns.occs) < cfg.MaxOccPerClass {
-							slot = len(ns.occs)
-							ns.occs = append(ns.occs, nil)
+							no = arena.Take(vs)
+							ns.occs = append(ns.occs, no)
 						} else if r := rng.Intn(ns.freq); r < cfg.MaxOccPerClass {
-							slot = r
+							no = ns.occs[r]
 						}
-						if slot >= 0 {
-							mp := cl.OccMapping(id, d)
-							no := make([]int32, len(vs))
+						if no != nil {
+							mp := cl.OccMapping(id, &d)
 							for i := range vs {
 								no[i] = vs[mp[i]]
 							}
-							ns.occs[slot] = no
 						}
 					}
 				}
@@ -201,17 +195,16 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 			if kept[i].freq != kept[j].freq {
 				return kept[i].freq > kept[j].freq
 			}
-			return kept[i].pattern.String() < kept[j].pattern.String()
+			return kept[i].patStr() < kept[j].patStr()
 		}
 		sort.Slice(kept, byFreq)
 		if cfg.BeamWidth > 0 && len(kept) > cfg.BeamWidth {
 			half := cfg.BeamWidth - int(float64(cfg.BeamWidth)*cfg.DenseBeamFraction)
 			selected := make([]*classState, 0, cfg.BeamWidth)
-			chosen := map[*classState]bool{}
-			for _, ns := range kept[:half] {
-				selected = append(selected, ns)
-				chosen[ns] = true
-			}
+			selected = append(selected, kept[:half]...)
+			// The density slots: rank the remaining classes by edge count
+			// and fill the rest of the beam. kept[half:] is disjoint from
+			// the frequency picks, so no membership check is needed.
 			rest := append([]*classState(nil), kept[half:]...)
 			sort.Slice(rest, func(i, j int) bool {
 				mi, mj := rest[i].pattern.M(), rest[j].pattern.M()
@@ -221,16 +214,12 @@ func Find(g *graph.Graph, cfg Config) []*Motif {
 				if rest[i].freq != rest[j].freq {
 					return rest[i].freq > rest[j].freq
 				}
-				return rest[i].pattern.String() < rest[j].pattern.String()
+				return rest[i].patStr() < rest[j].patStr()
 			})
-			for _, ns := range rest {
-				if len(selected) >= cfg.BeamWidth {
-					break
-				}
-				if !chosen[ns] {
-					selected = append(selected, ns)
-				}
+			if room := cfg.BeamWidth - len(selected); room < len(rest) {
+				rest = rest[:room]
 			}
+			selected = append(selected, rest...)
 			kept = selected
 			sort.Slice(kept, byFreq)
 		}

@@ -45,11 +45,12 @@ type Concentration struct {
 	EstimatedTotal float64
 }
 
-// chunkSample is one root chunk's private tally of sampled leaves.
+// chunkSample is one root chunk's private tally of sampled leaves. Class
+// ids are dense and first-seen ordered, so the counts slice doubles as the
+// first-seen order — no map, no separate order list.
 type chunkSample struct {
 	cl     *graph.Classifier
-	order  []int
-	counts map[int]int
+	counts []int // indexed by class id
 	total  int
 }
 
@@ -60,6 +61,11 @@ type chunkSample struct {
 // concurrently; chunk c prunes with its own rand.New(rand.NewSource(Seed +
 // c*prime)) stream, and per-chunk tallies merge in chunk order, so the
 // estimate is deterministic and independent of the worker count.
+//
+// The pruned tree walks the same arena-scratch kernels as the exact census;
+// the per-chunk RNG consumes one draw per popped extension entry in exactly
+// the enumeration order, so the sample is bit-identical to the historical
+// map-based formulation.
 //
 // invariant: len(cfg.Probabilities), when set, equals cfg.K — one retention
 // probability per tree depth. A mismatched configuration is a programmer
@@ -86,41 +92,45 @@ func SampleConcentrations(g *graph.Graph, cfg RandESUConfig) []Concentration {
 	}
 
 	n := g.N()
+	csr, bits := graph.NewCSR(g), graph.NewAdjBits(g)
 	chunks := make([]*chunkSample, par.NumChunks(n, esuRootChunk))
 	par.Chunks(n, esuRootChunk, par.Workers(cfg.Parallelism), func(c, lo, hi int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*0x9e3779b9))
-		cs := &chunkSample{cl: graph.NewClassifier(), counts: map[int]int{}}
-		sampleESURange(g, k, lo, hi, probs, rng, func(vs []int32) {
-			d := g.Induced(vs)
-			id := cs.cl.Classify(d)
-			if cs.counts[id] == 0 {
-				cs.order = append(cs.order, id)
+		cs := &chunkSample{cl: graph.NewClassifier()}
+		smp := esuSampler{s: newESUScratch(csr, bits, k), probs: probs, rng: rng}
+		var d graph.Dense
+		smp.visit = func(vs []int32) {
+			fillInduced(&d, bits, vs)
+			id := cs.cl.Classify(&d)
+			if id == len(cs.counts) {
+				cs.counts = append(cs.counts, 0)
 			}
 			cs.counts[id]++
 			cs.total++
-		})
+		}
+		for v := lo; v < hi; v++ {
+			smp.sampleRoot(int32(v))
+		}
 		chunks[c] = cs
 	})
 
 	// Chunk-ordered merge into one classifier.
 	cl := graph.NewClassifier()
-	counts := map[int]int{}
-	var order []int
+	var counts []int // indexed by global class id, in first-seen order
 	total := 0
 	for _, cs := range chunks {
-		for _, lid := range cs.order {
+		for lid, cnt := range cs.counts {
 			gid := cl.Classify(cs.cl.Rep(lid))
-			if counts[gid] == 0 {
-				order = append(order, gid)
+			if gid == len(counts) {
+				counts = append(counts, 0)
 			}
-			counts[gid] += cs.counts[lid]
+			counts[gid] += cnt
 		}
 		total += cs.total
 	}
 
-	out := make([]Concentration, 0, len(order))
-	for _, id := range order {
-		c := counts[id]
+	out := make([]Concentration, 0, len(counts))
+	for id, c := range counts {
 		conc := Concentration{
 			Pattern: cl.Rep(id),
 			Count:   c,
@@ -158,61 +168,74 @@ func defaultProbs(k int, frac float64) []float64 {
 	return probs
 }
 
-// sampleESURange is enumerateESURange with per-depth random pruning over
-// the roots in [lo, hi). Depth d is the number of vertices already chosen;
-// adding the (d+1)-th survives with probability probs[d]. All randomness
-// comes from the injected rng, so a chunk's sample depends only on its own
-// stream.
-func sampleESURange(g *graph.Graph, k, lo, hi int, probs []float64, rng *rand.Rand, visit func(vs []int32)) {
-	sub := make([]int32, 0, k)
+// esuSampler prunes the ESU tree with per-depth retention probabilities,
+// walking the same scratch arena as the exact enumeration. Depth d is the
+// number of vertices already chosen; adding the (d+1)-th consumes one RNG
+// draw and survives when it falls below probs[d].
+type esuSampler struct {
+	s     *esuScratch
+	probs []float64
+	rng   *rand.Rand
+	visit func(vs []int32)
+}
 
-	var extend func(ext []int32, root int32)
-	extend = func(ext []int32, root int32) {
-		if len(sub) == k {
-			vs := append([]int32(nil), sub...)
-			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-			visit(vs)
-			return
-		}
-		for len(ext) > 0 {
-			w := ext[len(ext)-1]
-			ext = ext[:len(ext)-1]
-			if rng.Float64() >= probs[len(sub)] {
-				continue
-			}
-			next := append([]int32(nil), ext...)
-			for _, u := range g.Neighbors(int(w)) {
-				if u <= root || contains(sub, u) || u == w {
-					continue
-				}
-				excl := true
-				for _, s := range sub {
-					if g.HasEdge(int(u), int(s)) {
-						excl = false
-						break
-					}
-				}
-				if excl && !contains(next, u) {
-					next = append(next, u)
-				}
-			}
-			sub = append(sub, w)
-			extend(next, root)
-			sub = sub[:len(sub)-1]
-		}
+// sampleRoot decides the root's own retention, then samples its subtree.
+func (sp *esuSampler) sampleRoot(v int32) {
+	if sp.rng.Float64() >= sp.probs[0] {
+		return
 	}
+	s := sp.s
+	row := s.g.Neighbors(int(v))
+	i := sort.Search(len(row), func(i int) bool { return row[i] > v })
+	ext := row[i:]
+	s.grow(len(ext))
+	copy(s.ext, ext)
+	s.top = len(ext)
 
-	for v := lo; v < hi; v++ {
-		if rng.Float64() >= probs[0] {
+	s.sub = append(s.sub[:0], v)
+	cov := s.coveredAt(1)
+	for i := range cov {
+		cov[i] = 0
+	}
+	s.bits.OrRowInto(cov, int(v))
+	sp.sampleExtend(0, s.top)
+}
+
+// sampleExtend mirrors esuScratch.extend with a retention draw per popped
+// extension entry. The draw happens before the survival test on every pop —
+// exactly the historical consumption order, which keeps chunk RNG streams
+// (and therefore the sampled set) byte-identical across refactors.
+func (sp *esuSampler) sampleExtend(extLo, extHi int) {
+	s := sp.s
+	if len(s.sub) == s.k {
+		sp.visit(s.sortedSub())
+		return
+	}
+	depth := len(s.sub)
+	root := int(s.sub[0])
+	for extHi > extLo {
+		w := s.ext[extHi-1]
+		extHi--
+		if sp.rng.Float64() >= sp.probs[depth] {
 			continue
 		}
-		var ext []int32
-		for _, u := range g.Neighbors(v) {
-			if u > int32(v) {
-				ext = append(ext, u)
-			}
+		cnt := s.bits.ExclusiveInto(s.cand, s.coveredAt(depth), int(w), root)
+		childLo := s.top
+		childHi := childLo + (extHi - extLo) + cnt
+		s.grow(childHi)
+		copy(s.ext[childLo:], s.ext[extLo:extHi])
+		p := childLo + (extHi - extLo)
+		for u := nextBit(s.cand, 0); u >= 0; u = nextBit(s.cand, u+1) {
+			s.ext[p] = int32(u)
+			p++
 		}
-		sub = append(sub[:0], int32(v))
-		extend(ext, int32(v))
+		s.sub = append(s.sub, w)
+		cov, next := s.coveredAt(depth), s.coveredAt(depth+1)
+		copy(next, cov)
+		s.bits.OrRowInto(next, int(w))
+		s.top = childHi
+		sp.sampleExtend(childLo, childHi)
+		s.top = childLo
+		s.sub = s.sub[:depth]
 	}
 }

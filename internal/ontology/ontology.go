@@ -117,6 +117,7 @@ type Ontology struct {
 	childs  [][]int
 	topo    []int    // parents before children
 	anc     []bitset // ancestors including self
+	ancList [][]int  // proper ancestors, ascending, one shared backing array
 }
 
 // NumTerms returns the number of terms.
@@ -198,21 +199,37 @@ func (o *Ontology) buildAncestors() {
 		}
 		o.anc[t] = bs
 	}
+	// Flat-pack the proper-ancestor lists once so Ancestors can hand out
+	// shared subslices instead of materializing a fresh slice per call
+	// (the labeler walks these on its border-marking pass).
+	total := 0
+	for t := 0; t < n; t++ {
+		total += o.anc[t].count() - 1
+	}
+	flat := make([]int, total)
+	o.ancList = make([][]int, n)
+	pos := 0
+	for t := 0; t < n; t++ {
+		start := pos
+		o.anc[t].each(func(a int) {
+			if a != t {
+				flat[pos] = a
+				pos++
+			}
+		})
+		o.ancList[t] = flat[start:pos:pos]
+	}
 }
 
 // IsAncestorOrSelf reports whether a is an ancestor of d or a == d.
 func (o *Ontology) IsAncestorOrSelf(a, d int) bool { return o.anc[d].get(a) }
 
 // Ancestors returns the ancestors of t (excluding t), sorted ascending.
-func (o *Ontology) Ancestors(t int) []int {
-	var out []int
-	o.anc[t].each(func(a int) {
-		if a != t {
-			out = append(out, a)
-		}
-	})
-	return out
-}
+// The slice is precomputed and shared across calls: it is owned by the
+// ontology and must be treated as read-only (copy before modifying).
+//
+// alloc-budget: 0
+func (o *Ontology) Ancestors(t int) []int { return o.ancList[t] }
 
 // Descendants returns the descendants of t (excluding t), sorted ascending.
 func (o *Ontology) Descendants(t int) []int {

@@ -29,6 +29,20 @@ echo "== build artifact"
     | tee "$workdir/build.log"
 # -stats prints the stage table; the same trace must ride in the artifact.
 grep -q "census" "$workdir/build.log"
+# The census and labeling stages must report a nonzero wall time: a "0s"
+# wall means the stage recorder lost the measurement (or the stage was
+# silently skipped), which would blind every build-side perf comparison.
+for stage in census labeling; do
+    wall="$(awk -v s="$stage" '$1 == s { print $2 }' "$workdir/build.log")"
+    if [[ -z "$wall" ]]; then
+        echo "build -stats table is missing the $stage stage" >&2
+        exit 1
+    fi
+    if [[ "$wall" == "0s" ]]; then
+        echo "build -stats reports zero wall time for $stage" >&2
+        exit 1
+    fi
+done
 "$workdir/lamoctl" inspect -artifact "$workdir/model.lamoart" | tee "$workdir/inspect.json"
 grep -q '"build_stats"' "$workdir/inspect.json"
 grep -q '"stage": "ranking"' "$workdir/inspect.json"
