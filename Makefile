@@ -9,16 +9,18 @@ GO ?= go
 # chunked enumeration / per-network uniqueness fan-outs (internal/motif)
 # on top of the randnet generators, the serving stack (request handlers
 # over the LRU cache, singleflight group, and atomic counters) plus the
-# artifact codec it loads, the observability layer (lock-free histograms,
-# the access-log ring and its drain goroutine), and the analysis engine
-# (parallel per-package rule execution over shared engine state).
+# artifact codec it loads, the fleet router (membership probes, hedged
+# requests, rolling rollout against live replicas), the observability
+# layer (lock-free histograms, the access-log ring and its drain
+# goroutine), and the analysis engine (parallel per-package rule
+# execution over shared engine state).
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/motif/... ./internal/graph/... ./internal/ontology/... \
 	./internal/dimotif/... ./internal/randnet/... \
-	./internal/serve/... ./internal/artifact/... ./internal/obs/... \
-	./internal/analysis/...
+	./internal/serve/... ./internal/fleet/... ./internal/artifact/... \
+	./internal/obs/... ./internal/analysis/...
 
-.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke ci
+.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke fleet-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -95,4 +97,12 @@ serve-smoke:
 load-smoke:
 	./scripts/lamoload_smoke.sh
 
-ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke
+# fleet-smoke exercises lamogate end to end: three reloadable replicas
+# behind a gateway, health-gated routing under a lamoctl-driven load
+# loop, a rolling rollout to a rebuilt artifact with zero failed
+# requests, byte-identical served responses before and after, and a
+# clean mixed-digest gauge once the fleet is uniform again.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke fleet-smoke

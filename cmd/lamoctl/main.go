@@ -8,14 +8,21 @@
 //	lamoctl health  [-server URL]
 //	lamoctl metrics [-ratios] [-server URL]
 //	lamoctl prom    [-server URL]
+//	lamoctl fleet   [-table] [-server URL]
+//	lamoctl rollout -artifact PATH [-digest HEX] [-server URL]
 //	lamoctl inspect -artifact FILE
 //
 // Network subcommands print the daemon's JSON response verbatim, so output
-// is byte-deterministic whenever the daemon's is. metrics -ratios instead
-// derives error/hit rates client-side — from one decoded snapshot, so the
-// numerator and denominator always belong to the same instant. prom prints
-// the Prometheus text exposition. predict -trace attaches an X-Request-Id
-// and verifies the daemon echoes it. inspect reads an artifact file
+// is byte-deterministic whenever the daemon's is; health and metrics
+// -ratios additionally lead with an "artifact=<digest>" line, because the
+// served artifact's identity is the first thing an operator checks during
+// a rollout. metrics -ratios derives error/hit rates client-side — from
+// one decoded snapshot, so the numerator and denominator always belong to
+// the same instant. prom prints the Prometheus text exposition. predict
+// -trace attaches an X-Request-Id and verifies the daemon echoes it.
+// fleet and rollout talk to a lamod gateway: fleet prints the membership
+// table (per-replica state, digest, latency), rollout drives a rolling
+// artifact swap across every replica. inspect reads an artifact file
 // directly, without a server, including any build-stage stats the build
 // recorded.
 package main
@@ -29,9 +36,11 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"lamofinder/internal/artifact"
+	"lamofinder/internal/fleet"
 	"lamofinder/internal/serve"
 )
 
@@ -41,7 +50,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|prom|inspect> [flags]")
+		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|prom|fleet|rollout|inspect> [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -50,15 +59,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "motifs":
 		return runGet(args[1:], "/v1/motifs", stdout, stderr)
 	case "health":
-		return runGet(args[1:], "/v1/healthz", stdout, stderr)
+		return runHealth(args[1:], stdout, stderr)
 	case "metrics":
 		return runMetrics(args[1:], stdout, stderr)
 	case "prom":
 		return runGet(args[1:], "/metrics", stdout, stderr)
+	case "fleet":
+		return runFleet(args[1:], stdout, stderr)
+	case "rollout":
+		return runRollout(args[1:], stdout, stderr)
 	case "inspect":
 		return runInspect(args[1:], stdout, stderr)
 	default:
-		errf(stderr, "lamoctl: unknown subcommand %q (want predict, motifs, health, metrics, prom, or inspect)\n", args[0])
+		errf(stderr, "lamoctl: unknown subcommand %q (want predict, motifs, health, metrics, prom, fleet, rollout, or inspect)\n", args[0])
 		return 2
 	}
 }
@@ -124,6 +137,51 @@ func runGet(args []string, path string, stdout, stderr io.Writer) int {
 	return fetch(client(*sf.timeout), *sf.server+path, stdout, stderr)
 }
 
+// runHealth prints /v1/healthz with a leading "artifact=<digest>
+// ready=<...>" line: mid-rollout, the digest is the first thing worth
+// reading, and against a gateway the same line shows the fleet-uniform
+// digest (empty while mixed). The verbatim JSON body follows.
+func runHealth(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl health", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl health: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	resp, err := client(*sf.timeout).Get(*sf.server + "/v1/healthz")
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: read response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, body)
+		return 1
+	}
+	// Ready is a bool on a daemon and a count on a gateway; decode loosely
+	// and render whichever arrived.
+	var hz struct {
+		Artifact string `json:"artifact"`
+		Ready    any    `json:"ready"`
+	}
+	if jerr := json.Unmarshal(body, &hz); jerr == nil {
+		_, _ = fmt.Fprintf(stdout, "artifact=%s ready=%v\n", hz.Artifact, hz.Ready)
+	}
+	_, _ = stdout.Write(body)
+	return 0
+}
+
 // runMetrics prints /v1/metrics verbatim, or with -ratios derives
 // error/hit rates. All ratios come from ONE decoded snapshot struct, so
 // numerator and denominator are the same point-in-time read — fetching
@@ -159,6 +217,7 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 		errf(stderr, "lamoctl: decode metrics: %v\n", err)
 		return 1
 	}
+	_, _ = fmt.Fprintf(stdout, "artifact=%s\n", snap.Artifact)
 	_, _ = fmt.Fprintf(stdout, "requests=%d errors=%d error_rate=%s\n",
 		snap.Requests, snap.Errors, ratio(snap.Errors, snap.Requests))
 	_, _ = fmt.Fprintf(stdout, "predictions=%d index_hits=%d index_hit_rate=%s\n",
@@ -170,6 +229,105 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 		_, _ = fmt.Fprintf(stdout, "predict_p50_us=%d predict_p90_us=%d predict_p99_us=%d\n",
 			lat.P50Micros, lat.P90Micros, lat.P99Micros)
 	}
+	return 0
+}
+
+// runFleet prints a gateway's /v1/fleet membership table — verbatim JSON
+// by default, or aligned columns with -table.
+func runFleet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	table := fs.Bool("table", false, "render the membership table as aligned columns instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl fleet: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if !*table {
+		return fetch(client(*sf.timeout), *sf.server+"/v1/fleet", stdout, stderr)
+	}
+	resp, err := client(*sf.timeout).Get(*sf.server + "/v1/fleet")
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	var st fleet.FleetStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: decode fleet status: %v\n", err)
+		return 1
+	}
+	_, _ = fmt.Fprintf(stdout, "artifact=%s mixed_digest=%v replicas=%d\n",
+		st.Artifact, st.MixedDigest, len(st.Replicas))
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "REPLICA\tSTATE\tDIGEST\tINFLIGHT\tREQUESTS\tERRORS\tP50_US\tP99_US")
+	for _, r := range st.Replicas {
+		digest := r.Digest
+		if len(digest) > 12 {
+			digest = digest[:12]
+		}
+		_, _ = fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			r.Replica, r.State, digest, r.Inflight, r.Requests, r.Errors,
+			r.P50Micros, r.P99Micros)
+	}
+	if err := tw.Flush(); err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runRollout drives a gateway's rolling artifact swap and prints the
+// gateway's JSON result. The -timeout default is raised: a rollout
+// serializes N drain+reload+verify cycles.
+func runRollout(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl rollout", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8070", "lamod gateway base URL")
+	timeout := fs.Duration("timeout", 5*time.Minute, "request deadline for the whole rollout")
+	path := fs.String("artifact", "", "artifact path as seen by each replica (required)")
+	digest := fs.String("digest", "", "expected artifact digest; empty lets the first replica pin it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl rollout: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *path == "" {
+		errln(stderr, "lamoctl rollout: -artifact is required")
+		fs.Usage()
+		return 2
+	}
+	body, err := json.Marshal(fleet.RolloutRequest{Artifact: *path, Digest: *digest})
+	if err != nil {
+		errf(stderr, "lamoctl rollout: %v\n", err)
+		return 1
+	}
+	resp, err := client(*timeout).Post(*server+"/v1/admin/rollout", "application/json", bytes.NewReader(body))
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	out, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: read response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		errf(stderr, "lamoctl: gateway returned %s: %s", resp.Status, out)
+		return 1
+	}
+	_, _ = stdout.Write(out)
 	return 0
 }
 

@@ -2,7 +2,9 @@
 // expensive offline pipeline (synthetic MIPS benchmark -> motif mining ->
 // uniqueness filter -> LaMoFinder labeling) once and packages the result
 // into a checksummed artifact file; `lamod serve` loads such an artifact
-// and answers prediction queries over HTTP until SIGTERM/SIGINT.
+// and answers prediction queries over HTTP until SIGTERM/SIGINT; `lamod
+// gateway` (the lamogate router) fronts several serve daemons as one
+// health-gated, consistently-hashed fleet with rolling artifact rollout.
 //
 // Usage:
 //
@@ -10,12 +12,20 @@
 //	            [-noindex] [-index-parallelism N] [-stats]
 //	lamod serve -artifact FILE [-addr HOST:PORT] [-parallelism N]
 //	            [-cache N] [-timeout D] [-drain D] [-pprof]
+//	            [-reload] [-reload-dir DIR]
 //	            [-log-level LEVEL] [-log-format json|logfmt] [-access-log-size N]
+//	lamod gateway -replicas HOST:PORT,HOST:PORT,... [-addr HOST:PORT]
+//	            [-vnodes N] [-probe-interval D] [-fail-threshold N]
+//	            [-attempts N] [-hedge-max D] [-drain D]
+//	            [-log-level LEVEL] [-log-format json|logfmt]
 //
 // build always traces its pipeline stages (census, uniqueness, labeling,
 // clustering, ranking) into the artifact's build metadata; -stats prints
 // the stage table after the build. serve emits structured access logs to
 // stderr at -log-level info and below (-log-level off disables them).
+// serve -reload exposes POST /v1/admin/reload for zero-downtime artifact
+// swaps (restricted to -reload-dir when set); gateway drives that
+// endpoint fleet-wide via POST /v1/admin/rollout, one replica at a time.
 //
 // build computes the dense score index by default, so the daemon answers
 // /v1/predict straight from precomputed rankings (format v2); -noindex
@@ -29,11 +39,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"lamofinder/internal/artifact"
 	"lamofinder/internal/experiments"
+	"lamofinder/internal/fleet"
 	"lamofinder/internal/obs"
 	"lamofinder/internal/par"
 	"lamofinder/internal/serve"
@@ -45,7 +58,7 @@ func main() {
 
 func run(args []string) int {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lamod <build|serve> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: lamod <build|serve|gateway> [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -53,8 +66,10 @@ func run(args []string) int {
 		return runBuild(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "gateway":
+		return runGateway(args[1:])
 	default:
-		fmt.Fprintf(os.Stderr, "lamod: unknown subcommand %q (want build or serve)\n", args[0])
+		fmt.Fprintf(os.Stderr, "lamod: unknown subcommand %q (want build, serve, or gateway)\n", args[0])
 		return 2
 	}
 }
@@ -161,6 +176,8 @@ func runServe(args []string) int {
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	enablePprof := fs.Bool("pprof", false, "expose /debug/pprof/ (stacks and heap contents; opt-in only)")
+	allowReload := fs.Bool("reload", false, "expose POST /v1/admin/reload for zero-downtime artifact swaps")
+	reloadDir := fs.String("reload-dir", "", "restrict reload artifact paths to this directory (default: the -artifact file's directory)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logFormat := fs.String("log-format", "json", "structured log format: json or logfmt")
 	accessLogSize := fs.Int("access-log-size", 0, "access-log ring entries (0 = default); overflow drops, never blocks")
@@ -197,11 +214,18 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
 		return 1
 	}
+	if *allowReload && *reloadDir == "" {
+		// Restricting reloads to the directory the serving artifact came
+		// from is the safe default; -reload-dir widens it deliberately.
+		*reloadDir = filepath.Dir(*path)
+	}
 	s, err := serve.New(art, serve.Config{
 		Parallelism:    *parallelism,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		EnablePprof:    *enablePprof,
+		AllowReload:    *allowReload,
+		ReloadDir:      *reloadDir,
 		Logger:         logger,
 		AccessLogSize:  *accessLogSize,
 		Trace:          obs.NewTraceSource("lamod", 0),
@@ -219,6 +243,75 @@ func runServe(args []string) int {
 	fmt.Printf("serving %s on %s (artifact %s, %s scoring)\n", *path, *addr, s.Digest(), mode)
 	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("shut down cleanly")
+	return 0
+}
+
+func runGateway(args []string) int {
+	fs := flag.NewFlagSet("lamod gateway", flag.ContinueOnError)
+	replicas := fs.String("replicas", "", "comma-separated replica addresses, host:port or URLs (required)")
+	addr := fs.String("addr", "127.0.0.1:8070", "listen address")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	probeInterval := fs.Duration("probe-interval", 0, "health-probe period (0 = default)")
+	failThreshold := fs.Int("fail-threshold", 0, "consecutive probe failures before eject (0 = default)")
+	attempts := fs.Int("attempts", 0, "max distinct replicas tried per request (0 = default)")
+	hedgeMax := fs.Duration("hedge-max", 0, "hedge-delay ceiling; negative disables hedging (0 = default)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	logFormat := fs.String("log-format", "json", "structured log format: json or logfmt")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lamod gateway: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "lamod gateway: -replicas is required")
+		fs.Usage()
+		return 2
+	}
+	var members []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			members = append(members, r)
+		}
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod gateway: %v\n", err)
+		return 2
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod gateway: %v\n", err)
+		return 2
+	}
+	var logger *obs.Logger
+	if level < obs.LevelOff {
+		logger = obs.NewLogger(os.Stderr, level, format)
+	}
+	rt, err := fleet.New(fleet.Config{
+		Replicas:      members,
+		VNodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+		MaxAttempts:   *attempts,
+		HedgeMax:      *hedgeMax,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod gateway: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("routing on %s over %d replicas: %s\n",
+		*addr, len(rt.Members()), strings.Join(rt.Members(), ", "))
+	if err := rt.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "lamod gateway: %v\n", err)
 		return 1
 	}
 	fmt.Println("shut down cleanly")

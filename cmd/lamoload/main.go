@@ -26,6 +26,14 @@
 // server-side predict percentiles as PREFIX/daemon_p50 … daemon_p99, so
 // the trajectory carries both sides of the wire: the gap between client
 // and daemon percentiles is network plus queueing, not scoring.
+//
+// -server may also point at a lamod gateway (the fleet router). lamoload
+// detects the fleet from the metrics body's fleet:true marker and then
+// records PREFIX/fleet_p50 … fleet_p99 (router-side predict latency,
+// retries and hedging included) alongside PREFIX/daemon_p50 … daemon_p99
+// derived from the merged per-replica upstream histograms — three tiers
+// per run: client, router, replicas. The healthz identity check works
+// unchanged because the gateway reports the fleet-uniform artifact digest.
 package main
 
 import (
@@ -157,8 +165,13 @@ func run(args []string, stderr io.Writer) int {
 	if daemon == nil {
 		errf(stderr, "lamoload: daemon reports no predict latency; skipping daemon_* results\n")
 	} else {
-		errf(stderr, "lamoload: daemon-side predict p50=%dµs p90=%dµs p99=%dµs\n",
-			int64(daemon[0].NsPerOp)/1e3, int64(daemon[1].NsPerOp)/1e3, int64(daemon[2].NsPerOp)/1e3)
+		// Against a gateway the first triple is fleet_* (router-side) and a
+		// second daemon_* triple follows from the merged replica histograms.
+		for i := 0; i+2 < len(daemon); i += 3 {
+			tier := strings.TrimSuffix(strings.TrimPrefix(daemon[i].Name, *name+"/"), "_p50")
+			errf(stderr, "lamoload: %s-side predict p50=%dµs p90=%dµs p99=%dµs\n", tier,
+				int64(daemon[i].NsPerOp)/1e3, int64(daemon[i+1].NsPerOp)/1e3, int64(daemon[i+2].NsPerOp)/1e3)
+		}
 		results = append(results, daemon...)
 	}
 
@@ -206,18 +219,32 @@ func checkServedArtifact(client *http.Client, server, digest string) error {
 	return nil
 }
 
-// daemonResults scrapes /v1/metrics once and renders the daemon's own
-// predict-route percentiles as benchfmt results. These come from the
-// daemon's power-of-two histogram, so they are upper bounds with one
-// bucket of resolution — coarser than the client-side order statistics,
-// but free of network and client-scheduling noise. Returns nil (no error)
-// when the daemon has no predict observations to report.
+// serverSnapshot is the union of a daemon's and a gateway's /v1/metrics
+// body. A daemon's snapshot has no "fleet" key, which decodes as false;
+// a gateway's carries fleet:true plus the merged upstream latency, which
+// is how lamoload tells the two apart without being told.
+type serverSnapshot struct {
+	serve.MetricsSnapshot
+	Fleet    bool               `json:"fleet"`
+	Upstream serve.RouteLatency `json:"upstream"`
+}
+
+// daemonResults scrapes /v1/metrics once and renders the server's own
+// predict-route percentiles as benchfmt results. These come from
+// power-of-two histograms, so they are upper bounds with one bucket of
+// resolution — coarser than the client-side order statistics, but free
+// of network and client-scheduling noise. Against a plain daemon it
+// emits PREFIX/daemon_p50..p99. Against a lamod gateway it emits
+// PREFIX/fleet_p50..p99 (router-side, retries and hedges included) AND
+// PREFIX/daemon_p50..p99 from the merged per-replica upstream histograms,
+// so the trajectory carries all three tiers: client, router, replicas.
+// Returns nil (no error) when there are no predict observations.
 func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Result, error) {
 	resp, err := client.Get(server + "/v1/metrics")
 	if err != nil {
 		return nil, err
 	}
-	var snap serve.MetricsSnapshot
+	var snap serverSnapshot
 	err = json.NewDecoder(resp.Body).Decode(&snap)
 	if cerr := resp.Body.Close(); err == nil {
 		err = cerr
@@ -225,21 +252,36 @@ func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Resul
 	if err != nil {
 		return nil, err
 	}
+	res := func(tier, suffix string, count, micros int64) benchfmt.Result {
+		return benchfmt.Result{
+			Name: prefix + "/" + tier + "_" + suffix, Procs: 1,
+			Iterations: count, NsPerOp: float64(micros) * 1e3,
+		}
+	}
 	lat, ok := snap.Latency["predict"]
 	if !ok || lat.Count == 0 {
 		return nil, nil
 	}
-	res := func(suffix string, micros int64) benchfmt.Result {
-		return benchfmt.Result{
-			Name: prefix + "/daemon_" + suffix, Procs: 1,
-			Iterations: lat.Count, NsPerOp: float64(micros) * 1e3,
-		}
+	if !snap.Fleet {
+		return []benchfmt.Result{
+			res("daemon", "p50", lat.Count, lat.P50Micros),
+			res("daemon", "p90", lat.Count, lat.P90Micros),
+			res("daemon", "p99", lat.Count, lat.P99Micros),
+		}, nil
 	}
-	return []benchfmt.Result{
-		res("p50", lat.P50Micros),
-		res("p90", lat.P90Micros),
-		res("p99", lat.P99Micros),
-	}, nil
+	out := []benchfmt.Result{
+		res("fleet", "p50", lat.Count, lat.P50Micros),
+		res("fleet", "p90", lat.Count, lat.P90Micros),
+		res("fleet", "p99", lat.Count, lat.P99Micros),
+	}
+	if up := snap.Upstream; up.Count > 0 {
+		out = append(out,
+			res("daemon", "p50", up.Count, up.P50Micros),
+			res("daemon", "p90", up.Count, up.P90Micros),
+			res("daemon", "p99", up.Count, up.P99Micros),
+		)
+	}
+	return out, nil
 }
 
 // requestStream precomputes the n query URLs. Everything that varies is

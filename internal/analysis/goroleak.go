@@ -14,6 +14,7 @@ var goroLeakScope = []string{
 	"internal/par",
 	"internal/serve",
 	"internal/obs",
+	"internal/fleet",
 }
 
 // GoroLeak returns the analyzer requiring every goroutine launched in the
@@ -32,7 +33,7 @@ var goroLeakScope = []string{
 func GoroLeak() *Analyzer {
 	return &Analyzer{
 		Name:      "goroleak",
-		Doc:       "require goroutines in internal/{par,serve,obs} to be joinable via WaitGroup or channel, transitively",
+		Doc:       "require goroutines in internal/{par,serve,obs,fleet} to be joinable via WaitGroup or channel, transitively",
 		RunModule: runGoroLeak,
 	}
 }

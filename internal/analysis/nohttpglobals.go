@@ -35,7 +35,7 @@ var httpGlobalFuncs = map[string]string{
 func NoHTTPGlobals() *Analyzer {
 	return &Analyzer{
 		Name: "nohttpglobals",
-		Doc:  "forbid http.DefaultServeMux/DefaultClient (and helpers using them) in internal/serve and cmd/",
+		Doc:  "forbid http.DefaultServeMux/DefaultClient (and helpers using them) in internal/{serve,fleet} and cmd/",
 		Run:  runNoHTTPGlobals,
 	}
 }
@@ -45,7 +45,7 @@ func runNoHTTPGlobals(pass *Pass) {
 	if !ok {
 		return
 	}
-	if rel != "internal/serve" && rel != "cmd" && !strings.HasPrefix(rel, "cmd/") {
+	if rel != "internal/serve" && rel != "internal/fleet" && rel != "cmd" && !strings.HasPrefix(rel, "cmd/") {
 		return
 	}
 	for _, f := range pass.Files {

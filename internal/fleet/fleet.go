@@ -1,0 +1,406 @@
+// Package fleet implements lamogate: a stdlib-only HTTP router and
+// coordinator in front of N lamod replicas, turning a single-process
+// daemon into a sharded, health-gated serving cluster with zero-downtime
+// artifact rollout.
+//
+// The router maintains a membership table over the replica list. A probe
+// goroutine polls each replica's /v1/healthz, tracking liveness, the
+// readiness bit (false while a replica reloads its artifact), and the
+// served artifact digest; replicas that fail consecutive probes are
+// ejected with exponential backoff and readmitted on the first success.
+// /v1/predict traffic is routed by consistent hashing on the protein ID
+// over a deterministic virtual-node ring, so the same protein always
+// lands on the same replica and each replica's ranking LRU stays hot.
+// Failed requests retry on the next distinct replica in ring order, and a
+// hedged second request fires after a p99-derived delay so one slow
+// replica cannot hold the tail.
+//
+// Endpoints:
+//
+//	GET  /v1/predict  — routed to a replica by protein affinity (retries, hedging)
+//	POST /v1/predict  — same, hashed on the first protein of the batch
+//	GET  /v1/motifs   — proxied to the first available replica
+//	GET  /v1/healthz  — fleet liveness/readiness + uniform artifact digest
+//	GET  /v1/fleet    — the membership table (state, digest, latency per replica)
+//	GET  /v1/metrics  — fleet counters and latency snapshot (JSON)
+//	GET  /metrics     — the same in Prometheus text format, including the
+//	                    lamod_fleet_mixed_digest gauge
+//	POST /v1/admin/rollout — rolling artifact swap across the fleet, one
+//	                    replica at a time, digests verified end to end
+//
+// The rollout protocol drains one replica (stops routing to it, waits for
+// its in-flight requests), posts /v1/admin/reload to it, waits until the
+// replica reports ready with the expected digest, readmits it, and moves
+// on — so a mixed-digest fleet exists only transiently, is visible in
+// /metrics while it does, and the fleet never drops below N-1 routable
+// replicas. Everything here is stdlib-only, matching the repo's
+// dependency contract.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lamofinder/internal/obs"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultVNodes        = 64
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailThreshold = 2
+	DefaultBackoffBase   = time.Second
+	DefaultBackoffMax    = 30 * time.Second
+	DefaultMaxAttempts   = 3
+	DefaultHedgeMin      = 2 * time.Millisecond
+	DefaultHedgeMax      = 500 * time.Millisecond
+	DefaultMaxBody       = 1 << 20
+	DefaultDrainTimeout  = 10 * time.Second
+	DefaultRolloutWait   = 60 * time.Second
+	maxReplicas          = 64 // Preference's member bitset is one uint64
+)
+
+// Config tunes the router. Zero values fall back to the defaults above.
+type Config struct {
+	// Replicas lists the lamod daemons, as host:port or full base URLs.
+	Replicas []string
+	// VNodes is the virtual-node count per replica on the hash ring.
+	VNodes int
+	// ProbeInterval is the health-probe period; ProbeTimeout bounds one
+	// probe request.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// replica; ejected replicas are reprobed after an exponential backoff
+	// growing from BackoffBase to BackoffMax.
+	FailThreshold int
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	// MaxAttempts bounds the distinct replicas tried per predict request
+	// (first attempt + retries; the hedge does not consume an attempt).
+	MaxAttempts int
+	// Hedge delay is derived from the fleet's observed upstream p99 and
+	// clamped to [HedgeMin, HedgeMax]; before any observation it is
+	// HedgeMax. HedgeMin <= 0 uses the default; a negative HedgeMax
+	// disables hedging entirely.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// UpstreamTimeout bounds one proxied request to a replica.
+	UpstreamTimeout time.Duration
+	// MaxBody caps a buffered POST body.
+	MaxBody int64
+	// DrainTimeout bounds the wait for a replica's in-flight requests
+	// during rollout; RolloutWait bounds the wait for a reloaded replica
+	// to come back ready with the new digest; RolloutSettle is an extra
+	// pause after draining and between replicas (useful to widen the
+	// observable mixed-digest window in tests and smokes).
+	DrainTimeout  time.Duration
+	RolloutWait   time.Duration
+	RolloutSettle time.Duration
+	// Logger, when set, records membership transitions and rollout steps.
+	Logger *obs.Logger
+}
+
+func (c *Config) fill() error {
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("fleet: at least one replica is required")
+	}
+	if len(c.Replicas) > maxReplicas {
+		return fmt.Errorf("fleet: %d replicas exceeds the %d-replica cap", len(c.Replicas), maxReplicas)
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = DefaultHedgeMin
+	}
+	if c.HedgeMax == 0 {
+		c.HedgeMax = DefaultHedgeMax
+	}
+	if c.UpstreamTimeout <= 0 {
+		c.UpstreamTimeout = 10 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.RolloutWait <= 0 {
+		c.RolloutWait = DefaultRolloutWait
+	}
+	return nil
+}
+
+// normalizeAddr turns "host:port" into "http://host:port" and strips a
+// trailing slash from full URLs.
+func normalizeAddr(a string) string {
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return strings.TrimRight(a, "/")
+}
+
+// Router is the lamogate coordinator: one immutable ring, one membership
+// table, one upstream HTTP client, and the probe goroutine that keeps the
+// table honest.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	members []*member // index-aligned with ring member indices
+	client  *http.Client
+	met     fleetMetrics
+
+	// hedgeNanos caches the hedge delay derived from the merged upstream
+	// p99 after each probe round, so the hot path reads one atomic.
+	hedgeNanos atomic.Int64
+
+	rollMu sync.Mutex // serializes rollouts
+
+	probeStart sync.Once
+	probeStop  sync.Once
+	probeQuit  chan struct{}
+	probeDone  chan struct{}
+}
+
+// New builds a router over the configured replicas. Call StartProbes (or
+// Serve/ListenAndServe, which do) to begin health probing, and Close to
+// stop it.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	addrs := make([]string, len(cfg.Replicas))
+	for i, a := range cfg.Replicas {
+		addrs[i] = normalizeAddr(a)
+	}
+	ring := NewRing(addrs, cfg.VNodes)
+	if ring.Len() < len(addrs) {
+		return nil, fmt.Errorf("fleet: duplicate replica addresses in %v", cfg.Replicas)
+	}
+	members := make([]*member, ring.Len())
+	for i, a := range ring.Members() {
+		members[i] = &member{addr: a}
+		// Members start Ready optimistically: the first probe round runs
+		// before the listener opens, and a cold router that refused all
+		// traffic until a probe succeeded would turn a slow replica boot
+		// into an outage.
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		members: members,
+		client: &http.Client{
+			Timeout: cfg.UpstreamTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * ring.Len(),
+				MaxIdleConnsPerHost: 8,
+			},
+		},
+		probeQuit: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	rt.hedgeNanos.Store(int64(cfg.HedgeMax))
+	return rt, nil
+}
+
+// Members returns the sorted replica base URLs.
+func (rt *Router) Members() []string { return rt.ring.Members() }
+
+// StartProbes launches the membership prober: one goroutine, one probe
+// round immediately and then every ProbeInterval, joined by Close.
+func (rt *Router) StartProbes() {
+	rt.probeStart.Do(func() {
+		go rt.probeLoop()
+	})
+}
+
+// Close stops the prober and waits for it to exit. Idempotent; safe even
+// if StartProbes was never called.
+func (rt *Router) Close() {
+	rt.probeStop.Do(func() { close(rt.probeQuit) })
+	rt.probeStart.Do(func() { close(rt.probeDone) }) // never started: unblock the wait
+	<-rt.probeDone
+}
+
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	rt.probeAll()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.probeQuit:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeHealth is the slice of a replica's healthz body the prober reads.
+type probeHealth struct {
+	Status   string `json:"status"`
+	Ready    bool   `json:"ready"`
+	Artifact string `json:"artifact"`
+}
+
+// probeAll probes every due member once and refreshes the cached hedge
+// delay from the merged upstream latency.
+func (rt *Router) probeAll() {
+	now := time.Now()
+	for _, m := range rt.members {
+		if !m.probeDue(now) {
+			continue
+		}
+		rt.probeOne(m, now)
+	}
+	rt.refreshHedge()
+}
+
+func (rt *Router) probeOne(m *member, now time.Time) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	var ph probeHealth
+	err := rt.getJSON(ctx, m.addr+"/v1/healthz", &ph)
+	switch {
+	case err != nil || ph.Status != "ok":
+		if m.noteFailure(now, rt.cfg.FailThreshold, rt.cfg.BackoffBase, rt.cfg.BackoffMax) {
+			rt.met.ejects.Add(1)
+			rt.cfg.Logger.Warn("fleet eject", obs.String("replica", m.addr))
+		}
+	case !ph.Ready:
+		// Alive but asking to be drained (artifact reload in flight):
+		// stop routing without starting the eject backoff clock.
+		m.setDigest(ph.Artifact)
+		m.state.CompareAndSwap(memberReady, memberDraining)
+	case m.pinned.Load():
+		// The rollout coordinator is holding this member in Draining;
+		// record the observation but leave the state alone.
+		m.setDigest(ph.Artifact)
+	default:
+		m.setDigest(ph.Artifact)
+		if m.noteSuccess() {
+			rt.met.readmits.Add(1)
+			rt.cfg.Logger.Info("fleet readmit", obs.String("replica", m.addr))
+		}
+	}
+}
+
+// refreshHedge recomputes the hedge delay as the merged upstream p99,
+// clamped to [HedgeMin, HedgeMax]. A negative HedgeMax disables hedging.
+func (rt *Router) refreshHedge() {
+	if rt.cfg.HedgeMax < 0 {
+		rt.hedgeNanos.Store(-1)
+		return
+	}
+	var merged obs.HistSnapshot
+	for _, m := range rt.members {
+		merged.Merge(m.lat.Snapshot())
+	}
+	d := rt.cfg.HedgeMax
+	if merged.Count > 0 {
+		d = time.Duration(merged.Quantile(0.99)) * time.Microsecond
+		if d < rt.cfg.HedgeMin {
+			d = rt.cfg.HedgeMin
+		}
+		if d > rt.cfg.HedgeMax {
+			d = rt.cfg.HedgeMax
+		}
+	}
+	rt.hedgeNanos.Store(int64(d))
+}
+
+// hedgeDelay returns the current hedge delay, or <0 when disabled.
+func (rt *Router) hedgeDelay() time.Duration {
+	return time.Duration(rt.hedgeNanos.Load())
+}
+
+// mixedDigest reports whether live (non-ejected) members currently serve
+// more than one artifact version, and the uniform digest when they do not
+// (empty until a probe has observed one).
+func (rt *Router) mixedDigest() (uniform string, mixed bool) {
+	for _, m := range rt.members {
+		if m.state.Load() == memberEjected {
+			continue
+		}
+		d := m.getDigest()
+		if d == "" {
+			continue
+		}
+		switch {
+		case uniform == "":
+			uniform = d
+		case uniform != d:
+			return "", true
+		}
+	}
+	return uniform, false
+}
+
+// ListenAndServe runs the router on addr until ctx is canceled, then
+// shuts down gracefully like the daemon: listener closed, in-flight
+// requests drained for up to drain, probe goroutine joined.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen: %w", err)
+	}
+	return rt.Serve(ctx, l, drain)
+}
+
+// Serve is ListenAndServe over an existing listener, which it takes
+// ownership of.
+func (rt *Router) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	rt.StartProbes()
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		rt.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := hs.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	rt.Close()
+	if err != nil {
+		return fmt.Errorf("fleet: drain: %w", err)
+	}
+	return nil
+}

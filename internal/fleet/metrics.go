@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"lamofinder/internal/obs"
+	"lamofinder/internal/serve"
+)
+
+// Router-side routes, for the per-route latency histograms. Kept coarser
+// than the daemon's: the router's own overhead is what these measure, the
+// per-replica upstream histograms live on the members.
+const (
+	fleetRoutePredict = iota
+	fleetRouteMotifs
+	fleetRouteHealthz
+	fleetRouteFleet
+	fleetRouteMetrics
+	fleetRouteRollout
+	fleetRouteOther
+	numFleetRoutes
+)
+
+var fleetRouteNames = [numFleetRoutes]string{
+	"predict", "motifs", "healthz", "fleet", "metrics", "rollout", "other",
+}
+
+func fleetRouteOf(path string) int {
+	switch path {
+	case "/v1/predict":
+		return fleetRoutePredict
+	case "/v1/motifs":
+		return fleetRouteMotifs
+	case "/v1/healthz":
+		return fleetRouteHealthz
+	case "/v1/fleet":
+		return fleetRouteFleet
+	case "/v1/metrics", "/metrics":
+		return fleetRouteMetrics
+	case "/v1/admin/rollout":
+		return fleetRouteRollout
+	}
+	return fleetRouteOther
+}
+
+// fleetMetrics holds the router's counters. All fields are atomic; the
+// struct is embedded by value in Router and never copied.
+type fleetMetrics struct {
+	requests  atomic.Int64 // client requests handled by the router
+	errors    atomic.Int64 // client responses with status >= 400
+	retries   atomic.Int64 // sequential retry attempts launched
+	hedges    atomic.Int64 // hedged duplicate requests launched
+	hedgeWins atomic.Int64 // requests won by the hedged attempt
+	ejects    atomic.Int64 // member transitions into Ejected
+	readmits  atomic.Int64 // ejected members readmitted
+	rollouts  atomic.Int64 // rolling artifact swaps completed
+
+	lat [numFleetRoutes]obs.Histogram
+}
+
+// Snapshot is the JSON body of the router's /v1/metrics. Fleet is always
+// true so clients (lamoload) can distinguish a router from a daemon:
+// daemon snapshots have no "fleet" key, which decodes as false. Latency
+// reuses the daemon's RouteLatency shape, and Upstream merges every
+// replica's observed latency into one fleet-wide summary.
+type Snapshot struct {
+	Fleet       bool                          `json:"fleet"`
+	Artifact    string                        `json:"artifact"`
+	MixedDigest bool                          `json:"mixed_digest"`
+	Requests    int64                         `json:"requests"`
+	Errors      int64                         `json:"errors"`
+	Retries     int64                         `json:"retries"`
+	Hedges      int64                         `json:"hedges"`
+	HedgeWins   int64                         `json:"hedge_wins"`
+	Ejects      int64                         `json:"ejects"`
+	Readmits    int64                         `json:"readmits"`
+	Rollouts    int64                         `json:"rollouts"`
+	Latency     map[string]serve.RouteLatency `json:"latency"`
+	Upstream    serve.RouteLatency            `json:"upstream"`
+	Replicas    []MemberStatus                `json:"replicas"`
+}
+
+func routeLatencyOf(hs obs.HistSnapshot) serve.RouteLatency {
+	return serve.RouteLatency{
+		Count:     hs.Count,
+		SumMicros: hs.SumMicros,
+		P50Micros: hs.Quantile(0.50),
+		P90Micros: hs.Quantile(0.90),
+		P99Micros: hs.Quantile(0.99),
+	}
+}
+
+// Metrics assembles the current snapshot.
+func (rt *Router) Metrics() Snapshot {
+	uniform, mixed := rt.mixedDigest()
+	s := Snapshot{
+		Fleet:       true,
+		Artifact:    uniform,
+		MixedDigest: mixed,
+		Requests:    rt.met.requests.Load(),
+		Errors:      rt.met.errors.Load(),
+		Retries:     rt.met.retries.Load(),
+		Hedges:      rt.met.hedges.Load(),
+		HedgeWins:   rt.met.hedgeWins.Load(),
+		Ejects:      rt.met.ejects.Load(),
+		Readmits:    rt.met.readmits.Load(),
+		Rollouts:    rt.met.rollouts.Load(),
+		Latency:     make(map[string]serve.RouteLatency, numFleetRoutes),
+	}
+	for r := 0; r < numFleetRoutes; r++ {
+		hs := rt.met.lat[r].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		s.Latency[fleetRouteNames[r]] = routeLatencyOf(hs)
+	}
+	var merged obs.HistSnapshot
+	for _, m := range rt.members {
+		merged.Merge(m.lat.Snapshot())
+	}
+	s.Upstream = routeLatencyOf(merged)
+	s.Replicas = rt.fleetStatus().Replicas
+	return s
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, rt.Metrics())
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// handleProm serves the fleet metrics in Prometheus text exposition
+// format under the lamod_fleet_* namespace, alongside the per-replica up
+// gauges and latency histograms. lamod_fleet_mixed_digest is the gauge
+// the rollout smoke watches: 1 while live replicas disagree on the
+// artifact digest, 0 once the fleet is uniform again.
+func (rt *Router) handleProm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s := rt.Metrics()
+	buf := make([]byte, 0, 4096)
+
+	counter := func(name, help string, v int64) {
+		buf = obs.AppendPromHeader(buf, name, "counter", help)
+		buf = obs.AppendPromInt(buf, name, "", v)
+	}
+	counter("lamod_fleet_requests_total", "Client requests handled by the fleet router.", s.Requests)
+	counter("lamod_fleet_errors_total", "Client responses with status >= 400.", s.Errors)
+	counter("lamod_fleet_retries_total", "Upstream retry attempts launched.", s.Retries)
+	counter("lamod_fleet_hedges_total", "Hedged duplicate upstream requests launched.", s.Hedges)
+	counter("lamod_fleet_hedge_wins_total", "Requests answered first by the hedged attempt.", s.HedgeWins)
+	counter("lamod_fleet_ejects_total", "Replica ejections after consecutive probe failures.", s.Ejects)
+	counter("lamod_fleet_readmits_total", "Ejected replicas readmitted after a successful probe.", s.Readmits)
+	counter("lamod_fleet_rollouts_total", "Rolling artifact swaps completed.", s.Rollouts)
+
+	mixed := int64(0)
+	if s.MixedDigest {
+		mixed = 1
+	}
+	buf = obs.AppendPromHeader(buf, "lamod_fleet_mixed_digest", "gauge",
+		"1 while live replicas serve more than one artifact digest, 0 when uniform.")
+	buf = obs.AppendPromInt(buf, "lamod_fleet_mixed_digest", "", mixed)
+
+	buf = obs.AppendPromHeader(buf, "lamod_fleet_replica_up", "gauge",
+		"1 when the replica is routable (Ready), 0 otherwise.")
+	for _, rep := range s.Replicas {
+		up := int64(0)
+		if rep.State == "ready" {
+			up = 1
+		}
+		buf = obs.AppendPromInt(buf, "lamod_fleet_replica_up",
+			`replica="`+promEscape(rep.Replica)+`"`, up)
+	}
+	buf = obs.AppendPromHeader(buf, "lamod_fleet_replica_digest_info", "gauge",
+		"Constant 1 per replica, labeled with its artifact digest.")
+	for _, rep := range s.Replicas {
+		buf = obs.AppendPromInt(buf, "lamod_fleet_replica_digest_info",
+			`replica="`+promEscape(rep.Replica)+`",digest="`+promEscape(rep.Digest)+`"`, 1)
+	}
+
+	buf = obs.AppendPromHeader(buf, "lamod_fleet_upstream_latency_seconds", "histogram",
+		"Upstream request latency per replica.")
+	for i, m := range rt.members {
+		buf = obs.AppendPromHistogram(buf, "lamod_fleet_upstream_latency_seconds",
+			`replica="`+promEscape(s.Replicas[i].Replica)+`"`, m.lat.Snapshot())
+	}
+	buf = obs.AppendPromHeader(buf, "lamod_fleet_route_latency_seconds", "histogram",
+		"Router-side request latency per route.")
+	for r := 0; r < numFleetRoutes; r++ {
+		hs := rt.met.lat[r].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		buf = obs.AppendPromHistogram(buf, "lamod_fleet_route_latency_seconds",
+			`route="`+fleetRouteNames[r]+`"`, hs)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf)
+}

@@ -15,6 +15,7 @@ const (
 	routeMotifs
 	routeMetrics // the JSON /v1/metrics snapshot
 	routeProm    // the Prometheus /metrics exposition
+	routeReload  // the opt-in /v1/admin/reload artifact swap
 	routeOther
 	numRoutes
 )
@@ -22,7 +23,7 @@ const (
 // routeNames are the static route labels used in access logs, the JSON
 // latency map and the Prometheus route label. Static strings so recording
 // a request never allocates.
-var routeNames = [numRoutes]string{"predict", "healthz", "motifs", "metrics", "prom", "other"}
+var routeNames = [numRoutes]string{"predict", "healthz", "motifs", "metrics", "prom", "reload", "other"}
 
 // routeOf classifies a request path.
 func routeOf(path string) int {
@@ -37,6 +38,8 @@ func routeOf(path string) int {
 		return routeMetrics
 	case "/metrics":
 		return routeProm
+	case "/v1/admin/reload":
+		return routeReload
 	default:
 		return routeOther
 	}
@@ -75,6 +78,7 @@ type RouteLatency struct {
 // AccessLogDropped are additive. encoding/json emits map keys sorted, so
 // the body stays byte-deterministic for a given counter state.
 type MetricsSnapshot struct {
+	Artifact         string                  `json:"artifact"`
 	Requests         int64                   `json:"requests"`
 	Predictions      int64                   `json:"predictions"`
 	Errors           int64                   `json:"errors"`
@@ -88,8 +92,9 @@ type MetricsSnapshot struct {
 	Latency          map[string]RouteLatency `json:"latency"`
 }
 
-func (m *metrics) snapshot(cacheEntries int, accessDropped int64) MetricsSnapshot {
+func (m *metrics) snapshot(digest string, cacheEntries int, accessDropped int64) MetricsSnapshot {
 	s := MetricsSnapshot{
+		Artifact:         digest,
 		Requests:         m.requests.Load(),
 		Predictions:      m.predictions.Load(),
 		Errors:           m.errors.Load(),

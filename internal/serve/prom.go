@@ -11,7 +11,7 @@ import (
 // histograms, one per route index.
 var promRouteLabels = [numRoutes]string{
 	`route="predict"`, `route="healthz"`, `route="motifs"`,
-	`route="metrics"`, `route="prom"`, `route="other"`,
+	`route="metrics"`, `route="prom"`, `route="reload"`, `route="other"`,
 }
 
 var contentTypeProm = []string{"text/plain; version=0.0.4; charset=utf-8"}

@@ -6,13 +6,16 @@
 //
 // Endpoints (all under /v1):
 //
-//	GET  /v1/healthz — liveness plus artifact identity and model counts
+//	GET  /v1/healthz — liveness plus readiness, artifact identity, model counts
 //	GET  /v1/predict?protein=NAME&k=N — rank functions for one or more proteins
 //	POST /v1/predict {"proteins": ["A", ...], "k": N} — batch form
 //	GET  /v1/motifs  — the labeled motifs backing the model
 //	GET  /v1/metrics — request/latency/cache counters (JSON)
 //	GET  /metrics    — the same state in Prometheus text format, plus Go
 //	                   runtime gauges
+//	POST /v1/admin/reload — swap the served artifact in place (opt-in via
+//	                   Config.AllowReload): load read-only, verify digest,
+//	                   atomic model flip, zero dropped requests
 //
 // Every response carries an X-Request-Id header (echoing a valid client
 // value or generated), and with Config.Logger set each request emits one
@@ -27,14 +30,17 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lamofinder/internal/artifact"
@@ -76,6 +82,16 @@ type Config struct {
 	// X-Request-Id header (nil = a fresh "req"-prefixed source). Seeded
 	// sources make generated IDs deterministic in tests.
 	Trace *obs.TraceSource
+	// AllowReload mounts POST /v1/admin/reload: load a new artifact file
+	// read-only, verify its digest, and atomically flip the served model
+	// without dropping a request. Off by default — the endpoint lets a
+	// caller make the daemon read arbitrary local files, so it is opt-in
+	// for operators running a coordinator (lamod gateway), never ambient.
+	AllowReload bool
+	// ReloadDir, when non-empty, restricts /v1/admin/reload to artifact
+	// paths inside this directory (after filepath.Clean). Empty means any
+	// path the process can read.
+	ReloadDir string
 }
 
 // DefaultConfig returns the serving defaults.
@@ -87,19 +103,54 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server answers prediction queries against one loaded artifact.
-type Server struct {
+// model is the immutable bundle a request scores against: the artifact
+// plus everything derived from it at load time. Requests read the bundle
+// through one atomic pointer load, so /v1/admin/reload can flip the whole
+// set consistently — a request never sees artifact A's index with
+// artifact B's name table. Old models drain naturally: in-flight requests
+// keep their loaded pointer until they finish, exactly like in-flight
+// requests keep the old process alive through the SIGTERM/Shutdown path.
+type model struct {
 	art    *artifact.Artifact
 	scorer *predict.LabeledMotif
 	index  *artifact.ScoreIndex // nil for v1 artifacts: score on demand
 	byName map[string]int
 	digest string
-	cfg    Config
-	cache  *lruCache
-	flight *flightGroup
-	met    metrics
-	trace  *obs.TraceSource
-	access *obs.AccessLog // nil when Config.Logger is nil
+}
+
+// newModel derives the request-time bundle from a loaded artifact. The
+// artifact is shared read-only across request goroutines and must not be
+// mutated afterwards.
+func newModel(art *artifact.Artifact) (*model, error) {
+	digest, err := art.Digest()
+	if err != nil {
+		return nil, fmt.Errorf("serve: digest artifact: %w", err)
+	}
+	byName := make(map[string]int, art.Graph.N())
+	for v := art.Graph.N() - 1; v >= 0; v-- {
+		// Reverse order so the lowest index wins a (pathological) name clash.
+		byName[art.Graph.Name(v)] = v
+	}
+	return &model{
+		art:    art,
+		scorer: art.NewScorer(),
+		index:  art.Index,
+		byName: byName,
+		digest: digest,
+	}, nil
+}
+
+// Server answers prediction queries against one loaded artifact.
+type Server struct {
+	mdl       atomic.Pointer[model]
+	ready     atomic.Bool // false while an artifact reload is in flight
+	reloading atomic.Bool // serializes reloads; readiness gate for routers
+	cfg       Config
+	cache     *lruCache
+	flight    *flightGroup
+	met       metrics
+	trace     *obs.TraceSource
+	access    *obs.AccessLog // nil when Config.Logger is nil
 }
 
 // New builds a server over a loaded artifact. The artifact is shared
@@ -115,42 +166,83 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = def.MaxBatch
 	}
-	digest, err := art.Digest()
+	m, err := newModel(art)
 	if err != nil {
-		return nil, fmt.Errorf("serve: digest artifact: %w", err)
-	}
-	byName := make(map[string]int, art.Graph.N())
-	for v := art.Graph.N() - 1; v >= 0; v-- {
-		// Reverse order so the lowest index wins a (pathological) name clash.
-		byName[art.Graph.Name(v)] = v
+		return nil, err
 	}
 	trace := cfg.Trace
 	if trace == nil {
 		trace = obs.NewTraceSource("req", 0)
 	}
-	return &Server{
-		art:    art,
-		scorer: art.NewScorer(),
-		index:  art.Index,
-		byName: byName,
-		digest: digest,
+	s := &Server{
 		cfg:    cfg,
 		cache:  newLRUCache(cfg.CacheSize),
 		flight: newFlightGroup(),
 		trace:  trace,
 		access: obs.NewAccessLog(cfg.Logger, cfg.AccessLogSize),
-	}, nil
+	}
+	s.mdl.Store(m)
+	s.ready.Store(true)
+	return s, nil
 }
 
 // Indexed reports whether the served artifact carries a score index.
-func (s *Server) Indexed() bool { return s.index != nil }
+func (s *Server) Indexed() bool { return s.mdl.Load().index != nil }
 
 // Digest returns the served artifact's identity.
-func (s *Server) Digest() string { return s.digest }
+func (s *Server) Digest() string { return s.mdl.Load().digest }
+
+// Ready reports readiness: true when the server is willing to take new
+// traffic, false while an artifact reload is in flight (the liveness half
+// — the process answering at all — is the HTTP response itself).
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Metrics returns a point-in-time counter snapshot.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.met.snapshot(s.cache.len(), s.access.Dropped())
+	return s.met.snapshot(s.mdl.Load().digest, s.cache.len(), s.access.Dropped())
+}
+
+// ErrReloadInFlight is returned when a reload is requested while another
+// one is still running; the caller should retry after the first finishes.
+var ErrReloadInFlight = errors.New("serve: artifact reload already in flight")
+
+// ReloadResult reports one completed artifact swap.
+type ReloadResult struct {
+	Previous string `json:"previous"` // digest served before the swap
+	Artifact string `json:"artifact"` // digest served now
+}
+
+// Reload loads the artifact at path read-only and atomically flips the
+// served model to it. While the reload is in flight Ready reports false,
+// so a health-gating router drains this replica before the flip; requests
+// that still arrive are answered correctly throughout (old model until
+// the flip, new model after — never a mix). wantDigest, when non-empty,
+// must match the new artifact's identity or the swap is refused and the
+// old model keeps serving. The previous model is not torn down: requests
+// holding it finish on it, then it is garbage. The ranking cache needs no
+// flush because its keys carry the digest.
+func (s *Server) Reload(path, wantDigest string) (ReloadResult, error) {
+	if !s.reloading.CompareAndSwap(false, true) {
+		return ReloadResult{}, ErrReloadInFlight
+	}
+	defer s.reloading.Store(false)
+	// Readiness drops for the duration of the load and restores on every
+	// exit: an aborted reload leaves the old, still-valid model serving.
+	s.ready.Store(false)
+	defer s.ready.Store(true)
+	art, err := artifact.LoadFile(path)
+	if err != nil {
+		return ReloadResult{}, fmt.Errorf("serve: reload: %w", err)
+	}
+	m, err := newModel(art)
+	if err != nil {
+		return ReloadResult{}, err
+	}
+	if wantDigest != "" && m.digest != wantDigest {
+		return ReloadResult{}, fmt.Errorf("serve: reload: artifact digest %s does not match requested %s", m.digest, wantDigest)
+	}
+	prev := s.mdl.Swap(m)
+	return ReloadResult{Previous: prev.digest, Artifact: m.digest}, nil
 }
 
 // Close flushes and stops the access-log drain goroutine. Serve calls it
@@ -171,16 +263,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleProm)
 	deadlined := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
 	h := s.instrument(deadlined)
-	if !s.cfg.EnablePprof {
+	if !s.cfg.EnablePprof && !s.cfg.AllowReload {
 		return h
 	}
 	root := http.NewServeMux()
 	root.Handle("/", h)
-	root.HandleFunc("/debug/pprof/", pprof.Index)
-	root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	root.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.cfg.AllowReload {
+		// The reload endpoint sits beside — not inside — the deadlined
+		// chain: loading a large artifact may legitimately outlive the
+		// predict deadline. It still runs instrumented, so reloads show in
+		// the latency map and the access log like any other route.
+		root.Handle("/v1/admin/reload", s.instrument(http.HandlerFunc(s.handleReload)))
+	}
+	if s.cfg.EnablePprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return root
 }
 
@@ -362,6 +463,9 @@ func parsePredictQuery(raw string, sc *scratch) (k string) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// One pointer load pins the whole model for this request: a concurrent
+	// reload flips the pointer for later requests, never mid-request.
+	m := s.mdl.Load()
 	sc := getScratch()
 	defer putScratch(sc)
 	k := 0
@@ -399,11 +503,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", k)
 		return
 	}
-	if k == 0 || k > s.art.NumFunctions {
-		k = s.art.NumFunctions
+	if k == 0 || k > m.art.NumFunctions {
+		k = m.art.NumFunctions
 	}
 	for _, name := range sc.proteins {
-		p, ok := s.resolve(name)
+		p, ok := m.resolve(name)
 		if !ok {
 			s.writeError(w, http.StatusNotFound, "unknown protein %q", name)
 			return
@@ -415,11 +519,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		sc.rankings = make([][]predict.Ranked, len(sc.ids))
 	}
 	sc.rankings = sc.rankings[:len(sc.ids)]
-	if s.index != nil {
+	if m.index != nil {
 		// Index hit: a prediction is a subslice of the precomputed full
 		// ranking — no scoring, no sorting, no worker pool, no allocation.
 		for i, p := range sc.ids {
-			rk := s.index.Ranking(p)
+			rk := m.index.Ranking(p)
 			if k < len(rk) {
 				rk = rk[:k]
 			}
@@ -431,20 +535,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// slot is written only by its own index, so response order always
 		// matches request order.
 		par.Do(len(sc.ids), par.Workers(s.cfg.Parallelism), func(i int) {
-			sc.rankings[i] = s.scoreOne(sc.ids[i], k)
+			sc.rankings[i] = s.scoreOne(m, sc.ids[i], k)
 		})
 	}
 	s.met.predictions.Add(int64(len(sc.ids)))
-	sc.buf = appendPredictResponse(sc.buf, s.digest, k, sc.proteins, sc.rankings, s.art.FunctionNames)
+	sc.buf = appendPredictResponse(sc.buf, m.digest, k, sc.proteins, sc.rankings, m.art.FunctionNames)
 	s.writeRaw(w, http.StatusOK, sc.buf)
 }
 
 // resolve maps a protein name (or a bare vertex index) to its vertex id.
-func (s *Server) resolve(name string) (int, bool) {
-	if p, ok := s.byName[name]; ok {
+func (m *model) resolve(name string) (int, bool) {
+	if p, ok := m.byName[name]; ok {
 		return p, true
 	}
-	if p, err := strconv.Atoi(name); err == nil && p >= 0 && p < s.art.Graph.N() {
+	if p, err := strconv.Atoi(name); err == nil && p >= 0 && p < m.art.Graph.N() {
 		return p, true
 	}
 	return 0, false
@@ -455,15 +559,15 @@ func (s *Server) resolve(name string) (int, bool) {
 // cache key carries the artifact digest, so a process serving a different
 // model can never replay stale entries. Only unindexed artifacts reach
 // this path; names are resolved at encode time.
-func (s *Server) scoreOne(p, k int) []predict.Ranked {
-	key := s.digest + "|" + strconv.Itoa(p) + "|" + strconv.Itoa(k)
+func (s *Server) scoreOne(m *model, p, k int) []predict.Ranked {
+	key := m.digest + "|" + strconv.Itoa(p) + "|" + strconv.Itoa(k)
 	if v, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		return v.([]predict.Ranked)
 	}
 	s.met.cacheMisses.Add(1)
 	v, _, shared := s.flight.do(key, func() (any, error) {
-		ranked := predict.TopK(s.scorer.Scores(p), k)
+		ranked := predict.TopK(m.scorer.Scores(p), k)
 		s.cache.put(key, ranked)
 		return ranked, nil
 	})
@@ -473,9 +577,13 @@ func (s *Server) scoreOne(p, k int) []predict.Ranked {
 	return v.([]predict.Ranked)
 }
 
-// healthzResponse is the body of /v1/healthz.
+// healthzResponse is the body of /v1/healthz. Status is liveness (the
+// process is up and serving); Ready is readiness (willing to take new
+// traffic — false while an artifact reload is in flight, so a router
+// drains the replica before the model flips).
 type healthzResponse struct {
 	Status       string `json:"status"`
+	Ready        bool   `json:"ready"`
 	Artifact     string `json:"artifact"`
 	Dataset      string `json:"dataset"`
 	Proteins     int    `json:"proteins"`
@@ -492,16 +600,60 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	m := s.mdl.Load()
 	s.writeJSON(w, http.StatusOK, healthzResponse{
 		Status:       "ok",
-		Artifact:     s.digest,
-		Dataset:      s.art.Dataset,
-		Proteins:     s.art.Graph.N(),
-		Interactions: s.art.Graph.M(),
-		Functions:    s.art.NumFunctions,
-		Motifs:       len(s.art.Motifs),
-		Coverage:     s.scorer.Coverage(),
+		Ready:        s.ready.Load(),
+		Artifact:     m.digest,
+		Dataset:      m.art.Dataset,
+		Proteins:     m.art.Graph.N(),
+		Interactions: m.art.Graph.M(),
+		Functions:    m.art.NumFunctions,
+		Motifs:       len(m.art.Motifs),
+		Coverage:     m.scorer.Coverage(),
 	})
+}
+
+// reloadRequest is the body of POST /v1/admin/reload. Artifact names the
+// new artifact file on the daemon's filesystem; Digest, when non-empty,
+// is the expected identity — a mismatched file is refused, which is what
+// makes a coordinator-driven rollout end-to-end digest-verified.
+type reloadRequest struct {
+	Artifact string `json:"artifact"`
+	Digest   string `json:"digest"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Artifact == "" {
+		s.writeError(w, http.StatusBadRequest, "artifact path is required")
+		return
+	}
+	if dir := s.cfg.ReloadDir; dir != "" {
+		rel, err := filepath.Rel(dir, filepath.Clean(req.Artifact))
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			s.writeError(w, http.StatusForbidden, "artifact path %q is outside the reload directory", req.Artifact)
+			return
+		}
+	}
+	res, err := s.Reload(req.Artifact, req.Digest)
+	switch {
+	case errors.Is(err, ErrReloadInFlight):
+		s.writeError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 // MotifSummary describes one labeled motif without its occurrence list.
@@ -525,8 +677,9 @@ func (s *Server) handleMotifs(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	out := MotifsResponse{Artifact: s.digest, Motifs: make([]MotifSummary, len(s.art.Motifs))}
-	for i, lm := range s.art.Motifs {
+	m := s.mdl.Load()
+	out := MotifsResponse{Artifact: m.digest, Motifs: make([]MotifSummary, len(m.art.Motifs))}
+	for i, lm := range m.art.Motifs {
 		ms := MotifSummary{
 			Index:       i,
 			Size:        lm.Size(),
@@ -537,7 +690,7 @@ func (s *Server) handleMotifs(w http.ResponseWriter, r *http.Request) {
 		}
 		for v, ts := range lm.Labels {
 			for _, t := range ts {
-				ms.Labels[v] = append(ms.Labels[v], s.art.Ontology.ID(int(t)))
+				ms.Labels[v] = append(ms.Labels[v], m.art.Ontology.ID(int(t)))
 			}
 		}
 		out.Motifs[i] = ms

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end gate for lamogate: three reloadable lamod
+# replicas behind a `lamod gateway` router, health-gated routing under a
+# continuous lamoctl-driven load loop, a rolling rollout to a rebuilt
+# artifact with zero failed requests, byte-identical served responses
+# before and after the swap, a clean lamod_fleet_mixed_digest gauge once
+# the fleet is uniform again, and graceful SIGTERM drains all around. Run
+# from anywhere inside the repo; CI runs it after the unit suites.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+base_port="${FLEET_SMOKE_PORT:-8081}"
+gw_addr="127.0.0.1:${FLEET_SMOKE_GATEWAY_PORT:-8070}"
+pids=()
+cleanup() {
+    touch "$workdir/stopload" 2>/dev/null || true
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build binaries"
+go build -o "$workdir/lamod" ./cmd/lamod
+go build -o "$workdir/lamoctl" ./cmd/lamoctl
+
+echo "== build artifacts"
+# Two builds of the SAME model configuration: the artifact digest covers
+# the model payload (not build timing), so both files carry one digest and
+# the rollout must end with byte-identical served responses. The rollout
+# protocol itself is exercised replica by replica either way.
+"$workdir/lamod" build -quick -out "$workdir/model_a.lamoart" -note "fleet smoke" >/dev/null
+"$workdir/lamod" build -quick -out "$workdir/model_b.lamoart" -note "fleet smoke" >/dev/null
+digest="$("$workdir/lamoctl" inspect -artifact "$workdir/model_a.lamoart" \
+    | sed -n 's/.*"artifact": "\([^"]*\)".*/\1/p')"
+digest_b="$("$workdir/lamoctl" inspect -artifact "$workdir/model_b.lamoart" \
+    | sed -n 's/.*"artifact": "\([^"]*\)".*/\1/p')"
+if [[ -z "$digest" || "$digest" != "$digest_b" ]]; then
+    echo "same-config rebuild changed the digest: $digest vs $digest_b" >&2
+    exit 1
+fi
+
+echo "== start 3 replicas"
+replica_addrs=()
+for i in 0 1 2; do
+    addr="127.0.0.1:$((base_port + i))"
+    replica_addrs+=("$addr")
+    "$workdir/lamod" serve -artifact "$workdir/model_a.lamoart" -addr "$addr" \
+        -reload -reload-dir "$workdir" -log-level warn \
+        >"$workdir/replica$i.log" 2>&1 &
+    pids+=("$!")
+done
+for i in 0 1 2; do
+    up=0
+    for _ in $(seq 1 100); do
+        if "$workdir/lamoctl" health -server "http://${replica_addrs[$i]}" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [[ "$up" != 1 ]]; then
+        echo "replica $i never became healthy" >&2
+        cat "$workdir/replica$i.log" >&2
+        exit 1
+    fi
+done
+
+echo "== start gateway on $gw_addr"
+replicas_csv="$(IFS=,; echo "${replica_addrs[*]}")"
+"$workdir/lamod" gateway -replicas "$replicas_csv" -addr "$gw_addr" -log-level warn \
+    >"$workdir/gateway.log" 2>&1 &
+gw_pid=$!
+pids+=("$gw_pid")
+up=0
+for _ in $(seq 1 100); do
+    if "$workdir/lamoctl" health -server "http://$gw_addr" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$up" != 1 ]]; then
+    echo "gateway never became healthy" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+
+echo "== fleet health carries the artifact digest"
+"$workdir/lamoctl" health -server "http://$gw_addr" | tee "$workdir/gw_health.txt"
+grep -q "^artifact=$digest " "$workdir/gw_health.txt"
+grep -q '"ready":3' "$workdir/gw_health.txt"
+
+echo "== fleet membership table"
+"$workdir/lamoctl" fleet -table -server "http://$gw_addr" | tee "$workdir/fleet.txt"
+[[ "$(grep -c ' ready ' "$workdir/fleet.txt")" == 3 ]]
+grep -q "^artifact=$digest mixed_digest=false" "$workdir/fleet.txt"
+
+echo "== predict through the gateway"
+"$workdir/lamoctl" predict -server "http://$gw_addr" -protein M0000 -k 5 \
+    | tee "$workdir/before.json"
+grep -q '"protein":"M0000"' "$workdir/before.json"
+grep -q "$digest" "$workdir/before.json"
+
+echo "== rolling rollout under load"
+# A continuous lamoctl-driven load loop across several proteins; every
+# request during the rollout must succeed.
+: >"$workdir/load_ok"
+: >"$workdir/load_fail"
+(
+    i=0
+    proteins=(M0000 M0007 M0042 M0100 M0311)
+    while [[ ! -f "$workdir/stopload" ]]; do
+        p="${proteins[$((i % 5))]}"
+        if "$workdir/lamoctl" predict -server "http://$gw_addr" -protein "$p" -k 5 \
+            >/dev/null 2>>"$workdir/load_fail.log"; then
+            echo ok >>"$workdir/load_ok"
+        else
+            echo fail >>"$workdir/load_fail"
+        fi
+        i=$((i + 1))
+    done
+) &
+load_pid=$!
+
+"$workdir/lamoctl" rollout -server "http://$gw_addr" \
+    -artifact "$workdir/model_b.lamoart" -digest "$digest" \
+    | tee "$workdir/rollout.json"
+grep -q "\"artifact\":\"$digest\"" "$workdir/rollout.json"
+# One step per replica, each confirming the target digest.
+[[ "$(grep -o "\"replica\":" "$workdir/rollout.json" | wc -l)" == 3 ]]
+
+touch "$workdir/stopload"
+wait "$load_pid"
+if [[ -s "$workdir/load_fail" ]]; then
+    echo "$(wc -l <"$workdir/load_fail") predict requests failed during the rollout:" >&2
+    cat "$workdir/load_fail.log" >&2
+    exit 1
+fi
+if [[ ! -s "$workdir/load_ok" ]]; then
+    echo "the load loop issued no successful requests; the rollout ran unobserved" >&2
+    exit 1
+fi
+echo "load loop: $(wc -l <"$workdir/load_ok") requests, 0 failures"
+
+echo "== served bytes identical before and after the swap"
+"$workdir/lamoctl" predict -server "http://$gw_addr" -protein M0000 -k 5 \
+    >"$workdir/after.json"
+cmp "$workdir/before.json" "$workdir/after.json"
+
+echo "== fleet metrics after the rollout"
+"$workdir/lamoctl" prom -server "http://$gw_addr" >"$workdir/prom.txt"
+grep -q '^lamod_fleet_mixed_digest 0$' "$workdir/prom.txt"
+grep -q '^lamod_fleet_rollouts_total 1$' "$workdir/prom.txt"
+[[ "$(grep -c '^lamod_fleet_replica_up{[^}]*} 1$' "$workdir/prom.txt")" == 3 ]]
+"$workdir/lamoctl" fleet -table -server "http://$gw_addr" | tee "$workdir/fleet_after.txt"
+[[ "$(grep -c ' ready ' "$workdir/fleet_after.txt")" == 3 ]]
+grep -q "^artifact=$digest mixed_digest=false" "$workdir/fleet_after.txt"
+
+echo "== graceful shutdown"
+kill -TERM "$gw_pid"
+for _ in $(seq 1 100); do
+    if ! kill -0 "$gw_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -0 "$gw_pid" 2>/dev/null; then
+    echo "gateway ignored SIGTERM" >&2
+    exit 1
+fi
+wait "$gw_pid" || { echo "gateway exited non-zero" >&2; cat "$workdir/gateway.log" >&2; exit 1; }
+grep -q "shut down cleanly" "$workdir/gateway.log"
+for i in 0 1 2; do
+    kill -TERM "${pids[$i]}"
+done
+for i in 0 1 2; do
+    wait "${pids[$i]}" || { echo "replica $i exited non-zero" >&2; cat "$workdir/replica$i.log" >&2; exit 1; }
+done
+pids=()
+
+echo "fleet smoke OK"
