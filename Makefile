@@ -12,15 +12,16 @@ GO ?= go
 # artifact codec it loads, the fleet router (membership probes, hedged
 # requests, rolling rollout against live replicas), the observability
 # layer (lock-free histograms, the access-log ring and its drain
-# goroutine), and the analysis engine (parallel per-package rule
-# execution over shared engine state).
+# goroutine), the analysis engine (parallel per-package rule execution
+# over shared engine state), and the bulk-query engine (chunk-parallel
+# scans writing index-addressed output slots and shared bitsets).
 RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/motif/... ./internal/graph/... ./internal/ontology/... \
 	./internal/dimotif/... ./internal/randnet/... \
 	./internal/serve/... ./internal/fleet/... ./internal/artifact/... \
-	./internal/obs/... ./internal/analysis/...
+	./internal/obs/... ./internal/analysis/... ./internal/query/...
 
-.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke fleet-smoke ci
+.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke fleet-smoke query-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -105,4 +106,11 @@ load-smoke:
 fleet-smoke:
 	./scripts/fleet_smoke.sh
 
-ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke fleet-smoke
+# query-smoke exercises the bulk-query engine end to end: three canned
+# plans through lamoctl query, row-count and known-score assertions,
+# byte-identical offline (lamod query) vs served output, and the
+# flag-built-plan / plan-file equivalence.
+query-smoke:
+	./scripts/query_smoke.sh
+
+ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke fleet-smoke query-smoke

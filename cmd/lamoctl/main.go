@@ -4,6 +4,9 @@
 // Usage:
 //
 //	lamoctl predict -protein NAME [-protein NAME ...] [-k N] [-trace ID] [-server URL]
+//	lamoctl query   [-plan FILE] [-topk N] [-group-by category] [-min-degree N]
+//	                [-max-degree N] [-min-score X] [-annotated BOOL]
+//	                [-proteins A,B] [-project COLS] [-table] [-server URL]
 //	lamoctl motifs  [-server URL]
 //	lamoctl health  [-server URL]
 //	lamoctl metrics [-ratios] [-server URL]
@@ -20,6 +23,9 @@
 // one decoded snapshot, so the numerator and denominator always belong to
 // the same instant. prom prints the Prometheus text exposition. predict
 // -trace attaches an X-Request-Id and verifies the daemon echoes it.
+// query posts a bulk plan — from -plan file.json or assembled from the
+// plan flags — to /v1/query and prints the streamed JSON verbatim, or an
+// aligned table with -table.
 // fleet and rollout talk to a lamod gateway: fleet prints the membership
 // table (per-replica state, digest, latency), rollout drives a rolling
 // artifact swap across every replica. inspect reads an artifact file
@@ -36,11 +42,13 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"lamofinder/internal/artifact"
 	"lamofinder/internal/fleet"
+	"lamofinder/internal/query"
 	"lamofinder/internal/serve"
 )
 
@@ -50,12 +58,14 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		errln(stderr, "usage: lamoctl <predict|motifs|health|metrics|prom|fleet|rollout|inspect> [flags]")
+		errln(stderr, "usage: lamoctl <predict|query|motifs|health|metrics|prom|fleet|rollout|inspect> [flags]")
 		return 2
 	}
 	switch args[0] {
 	case "predict":
 		return runPredict(args[1:], stdout, stderr)
+	case "query":
+		return runQuery(args[1:], stdout, stderr)
 	case "motifs":
 		return runGet(args[1:], "/v1/motifs", stdout, stderr)
 	case "health":
@@ -71,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "inspect":
 		return runInspect(args[1:], stdout, stderr)
 	default:
-		errf(stderr, "lamoctl: unknown subcommand %q (want predict, motifs, health, metrics, prom, fleet, rollout, or inspect)\n", args[0])
+		errf(stderr, "lamoctl: unknown subcommand %q (want predict, query, motifs, health, metrics, prom, fleet, rollout, or inspect)\n", args[0])
 		return 2
 	}
 }
@@ -415,6 +425,103 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	_, _ = stdout.Write(body)
+	return 0
+}
+
+// runQuery posts a bulk prediction plan to /v1/query. The plan comes from
+// -plan file.json or is assembled from the plan flags; the daemon's JSON
+// response streams through verbatim (so output is byte-deterministic), or
+// -table renders the rows as aligned columns for human eyes.
+func runQuery(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	table := fs.Bool("table", false, "render result rows as aligned columns instead of JSON")
+	pf := query.AddPlanFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errf(stderr, "lamoctl query: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	plan, err := pf.Plan()
+	if err != nil {
+		errf(stderr, "lamoctl query: %v\n", err)
+		return 2
+	}
+	body, err := json.Marshal(plan)
+	if err != nil {
+		errf(stderr, "lamoctl query: %v\n", err)
+		return 1
+	}
+	resp, err := client(*sf.timeout).Post(*sf.server+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	out, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		errf(stderr, "lamoctl: read response: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, out)
+		return 1
+	}
+	if !*table {
+		_, _ = stdout.Write(out)
+		return 0
+	}
+	return writeQueryTable(out, stdout, stderr)
+}
+
+// writeQueryTable renders a /v1/query response as aligned columns. Cells
+// decode as json.Number so scores print with the daemon's exact digits
+// instead of a float64 round trip's.
+func writeQueryTable(body []byte, stdout, stderr io.Writer) int {
+	var res struct {
+		Artifact string            `json:"artifact"`
+		Columns  []string          `json:"columns"`
+		RowCount int               `json:"row_count"`
+		Rows     []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		errf(stderr, "lamoctl query: decode response: %v\n", err)
+		return 1
+	}
+	_, _ = fmt.Fprintf(stdout, "artifact=%s rows=%d\n", res.Artifact, res.RowCount)
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	for i, col := range res.Columns {
+		if i > 0 {
+			_, _ = fmt.Fprint(tw, "\t")
+		}
+		_, _ = fmt.Fprint(tw, strings.ToUpper(col))
+	}
+	_, _ = fmt.Fprintln(tw)
+	for _, raw := range res.Rows {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		var cells []any
+		if err := dec.Decode(&cells); err != nil {
+			errf(stderr, "lamoctl query: decode row: %v\n", err)
+			return 1
+		}
+		for i, cell := range cells {
+			if i > 0 {
+				_, _ = fmt.Fprint(tw, "\t")
+			}
+			_, _ = fmt.Fprintf(tw, "%v", cell)
+		}
+		_, _ = fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

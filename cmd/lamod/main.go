@@ -6,10 +6,18 @@
 // gateway` (the lamogate router) fronts several serve daemons as one
 // health-gated, consistently-hashed fleet with rolling artifact rollout.
 //
+// `lamod query` runs a bulk prediction plan offline, straight from an
+// artifact file — the same columnar engine /v1/query serves, without a
+// daemon in the way.
+//
 // Usage:
 //
 //	lamod build -out FILE [-quick] [-proteins N] [-edges M] [-seed S] [-note TEXT]
 //	            [-noindex] [-index-parallelism N] [-stats]
+//	lamod query -artifact FILE [-plan FILE] [-topk N] [-group-by category]
+//	            [-min-degree N] [-max-degree N] [-min-score X]
+//	            [-annotated BOOL] [-proteins A,B] [-project COLS]
+//	            [-parallelism N]
 //	lamod serve -artifact FILE [-addr HOST:PORT] [-parallelism N]
 //	            [-cache N] [-timeout D] [-drain D] [-pprof]
 //	            [-reload] [-reload-dir DIR]
@@ -49,6 +57,7 @@ import (
 	"lamofinder/internal/fleet"
 	"lamofinder/internal/obs"
 	"lamofinder/internal/par"
+	"lamofinder/internal/query"
 	"lamofinder/internal/serve"
 )
 
@@ -58,18 +67,20 @@ func main() {
 
 func run(args []string) int {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lamod <build|serve|gateway> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: lamod <build|query|serve|gateway> [flags]")
 		return 2
 	}
 	switch args[0] {
 	case "build":
 		return runBuild(args[1:])
+	case "query":
+		return runQuery(args[1:])
 	case "serve":
 		return runServe(args[1:])
 	case "gateway":
 		return runGateway(args[1:])
 	default:
-		fmt.Fprintf(os.Stderr, "lamod: unknown subcommand %q (want build, serve, or gateway)\n", args[0])
+		fmt.Fprintf(os.Stderr, "lamod: unknown subcommand %q (want build, query, serve, or gateway)\n", args[0])
 		return 2
 	}
 }
@@ -163,6 +174,53 @@ func runBuild(args []string) int {
 			fmt.Fprintf(os.Stderr, "lamod build: %v\n", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// runQuery executes one bulk plan against an artifact file and streams
+// the result JSON — byte-identical to what a daemon serving the same
+// artifact would return from /v1/query — to stdout.
+func runQuery(args []string) int {
+	fs := flag.NewFlagSet("lamod query", flag.ContinueOnError)
+	path := fs.String("artifact", "", "artifact file to query (required)")
+	parallelism := fs.Int("parallelism", 0, "scan workers (0 = GOMAXPROCS); output bytes do not depend on this")
+	pf := query.AddPlanFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lamod query: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "lamod query: -artifact is required")
+		fs.Usage()
+		return 2
+	}
+	plan, err := pf.Plan()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod query: %v\n", err)
+		return 2
+	}
+	art, err := artifact.LoadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod query: %v\n", err)
+		return 1
+	}
+	view, err := query.NewView(art, *parallelism)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamod query: %v\n", err)
+		return 1
+	}
+	res, fe := query.Execute(view, plan, *parallelism)
+	if fe != nil {
+		fmt.Fprintf(os.Stderr, "lamod query: invalid plan: %v\n", fe)
+		return 2
+	}
+	if _, err := res.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "lamod query: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	lamoload -artifact FILE [-server URL] [-n N] [-c C] [-rate R]
+//	lamoload -artifact FILE [-server URL] [-workload predict|query]
+//	         [-n N] [-c C] [-rate R]
 //	         [-k K] [-batch B] [-seed S] [-timeout D]
 //	         [-out PATH | -merge-into PATH] [-name PREFIX]
 //
@@ -18,6 +19,14 @@
 //	        so concurrency is fixed and arrival adapts to the daemon.
 //	-rate R: open loop — requests start every 1/R seconds regardless of
 //	        completions, so queueing delay shows up in the percentiles.
+//
+// -workload query drives POST /v1/query with a seeded mix of bulk plans
+// (full scans, degree-filtered top-k, grouped top-k, pinned batches)
+// instead of single-protein predicts. Its results carry query_-prefixed
+// names (PREFIX/query_p50 … query_throughput) plus PREFIX/query_ns_per_row
+// — wall_ns divided by result rows streamed, the reciprocal of rows/sec —
+// so bulk-scoring throughput lands in the same BENCH_*.json trajectory the
+// predict percentiles do, diffable against any earlier snapshot.
 //
 // The report encodes each percentile as one benchfmt result
 // (PREFIX/p50 … PREFIX/max, ns_per_op = latency) plus PREFIX/throughput,
@@ -37,6 +46,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -71,6 +81,7 @@ func run(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	artPath := fs.String("artifact", "", "served artifact file: protein-name source and identity check (required)")
 	server := fs.String("server", "http://127.0.0.1:8077", "lamod base URL")
+	workload := fs.String("workload", "predict", "request shape: predict (GET /v1/predict) or query (POST /v1/query bulk plans)")
 	n := fs.Int("n", 1000, "total requests to send")
 	c := fs.Int("c", 4, "closed-loop worker count (also the connection pool size)")
 	rate := fs.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
@@ -80,7 +91,7 @@ func run(args []string, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	out := fs.String("out", "-", `snapshot output path ("-" = stdout)`)
 	mergeInto := fs.String("merge-into", "", "append results to this existing BENCH_*.json instead of writing -out")
-	name := fs.String("name", "LoadPredict", "result name prefix in the snapshot")
+	name := fs.String("name", "", "result name prefix in the snapshot (default LoadPredict, or LoadQuery with -workload query)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +107,16 @@ func run(args []string, stderr io.Writer) int {
 	if *n <= 0 || *c <= 0 || *batch <= 0 || *rate < 0 {
 		errln(stderr, "lamoload: -n, -c, and -batch must be positive; -rate non-negative")
 		return 2
+	}
+	if *workload != "predict" && *workload != "query" {
+		errf(stderr, "lamoload: -workload must be predict or query, got %q\n", *workload)
+		return 2
+	}
+	if *name == "" {
+		*name = "LoadPredict"
+		if *workload == "query" {
+			*name = "LoadQuery"
+		}
 	}
 
 	art, err := artifact.LoadFile(*artPath)
@@ -127,28 +148,35 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
-	urls := requestStream(*server, names, *n, *batch, *k, *seed)
+	route, prefix := "predict", ""
+	var reqs []request
+	if *workload == "query" {
+		route, prefix = "query", "query_"
+		reqs = queryStream(*server, names, *n, *batch, *k, *seed)
+	} else {
+		reqs = predictStream(*server, names, *n, *batch, *k, *seed)
+	}
 	mode := "closed-loop"
 	if *rate > 0 {
 		mode = "open-loop"
 	}
-	errf(stderr, "lamoload: %d requests, %s, batch=%d k=%d seed=%d against %s\n",
-		*n, mode, *batch, *k, *seed, *server)
+	errf(stderr, "lamoload: %d %s requests, %s, batch=%d k=%d seed=%d against %s\n",
+		*n, *workload, mode, *batch, *k, *seed, *server)
 
 	var lat []time.Duration
-	var errs int64
+	var rows, errs int64
 	var wall time.Duration
 	if *rate > 0 {
-		lat, errs, wall = runOpenLoop(client, urls, *rate)
+		lat, rows, errs, wall = runOpenLoop(client, reqs, *rate)
 	} else {
-		lat, errs, wall = runClosedLoop(client, urls, *c)
+		lat, rows, errs, wall = runClosedLoop(client, reqs, *c)
 	}
 	if errs > 0 {
 		errf(stderr, "lamoload: %d of %d requests failed\n", errs, *n)
 		return 1
 	}
 
-	results := summarize(*name, lat, wall)
+	results := summarize(*name, prefix, lat, wall)
 	rps := float64(len(lat)) / wall.Seconds()
 	errf(stderr, "lamoload: %d ok in %v (%.1f req/s)  p50=%v p90=%v p99=%v max=%v\n",
 		len(lat), wall.Round(time.Millisecond), rps,
@@ -156,14 +184,24 @@ func run(args []string, stderr io.Writer) int {
 		percentile(lat, 0.90).Round(time.Microsecond),
 		percentile(lat, 0.99).Round(time.Microsecond),
 		lat[len(lat)-1].Round(time.Microsecond))
+	if *workload == "query" && rows > 0 {
+		// rows/sec is the headline number for bulk scoring; the snapshot
+		// stores its reciprocal (ns per row) to stay in benchfmt units.
+		results = append(results, benchfmt.Result{
+			Name: *name + "/query_ns_per_row", Procs: 1,
+			Iterations: rows, NsPerOp: float64(wall.Nanoseconds()) / float64(rows),
+		})
+		errf(stderr, "lamoload: %d result rows (%.0f rows/s)\n",
+			rows, float64(rows)/wall.Seconds())
+	}
 
-	daemon, err := daemonResults(client, *server, *name)
+	daemon, err := daemonResults(client, *server, *name, route)
 	if err != nil {
 		errf(stderr, "lamoload: daemon metrics: %v\n", err)
 		return 1
 	}
 	if daemon == nil {
-		errf(stderr, "lamoload: daemon reports no predict latency; skipping daemon_* results\n")
+		errf(stderr, "lamoload: daemon reports no %s latency; skipping daemon_* results\n", route)
 	} else {
 		// Against a gateway the first triple is fleet_* (router-side) and a
 		// second daemon_* triple follows from the merged replica histograms.
@@ -230,16 +268,18 @@ type serverSnapshot struct {
 }
 
 // daemonResults scrapes /v1/metrics once and renders the server's own
-// predict-route percentiles as benchfmt results. These come from
-// power-of-two histograms, so they are upper bounds with one bucket of
-// resolution — coarser than the client-side order statistics, but free
-// of network and client-scheduling noise. Against a plain daemon it
-// emits PREFIX/daemon_p50..p99. Against a lamod gateway it emits
-// PREFIX/fleet_p50..p99 (router-side, retries and hedges included) AND
-// PREFIX/daemon_p50..p99 from the merged per-replica upstream histograms,
-// so the trajectory carries all three tiers: client, router, replicas.
-// Returns nil (no error) when there are no predict observations.
-func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Result, error) {
+// route percentiles as benchfmt results. These come from power-of-two
+// histograms, so they are upper bounds with one bucket of resolution —
+// coarser than the client-side order statistics, but free of network and
+// client-scheduling noise. Against a plain daemon it emits
+// PREFIX/daemon_p50..p99. Against a lamod gateway driving the predict
+// route it emits PREFIX/fleet_p50..p99 (router-side, retries and hedges
+// included) AND PREFIX/daemon_p50..p99 from the merged per-replica
+// upstream histograms, so the trajectory carries all three tiers: client,
+// router, replicas. The query route has no merged upstream histogram, so
+// there it always reports the single daemon_* triple. Returns nil (no
+// error) when the route has no observations.
+func daemonResults(client *http.Client, server, prefix, route string) ([]benchfmt.Result, error) {
 	resp, err := client.Get(server + "/v1/metrics")
 	if err != nil {
 		return nil, err
@@ -258,11 +298,11 @@ func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Resul
 			Iterations: count, NsPerOp: float64(micros) * 1e3,
 		}
 	}
-	lat, ok := snap.Latency["predict"]
+	lat, ok := snap.Latency[route]
 	if !ok || lat.Count == 0 {
 		return nil, nil
 	}
-	if !snap.Fleet {
+	if !snap.Fleet || route != "predict" {
 		return []benchfmt.Result{
 			res("daemon", "p50", lat.Count, lat.P50Micros),
 			res("daemon", "p90", lat.Count, lat.P90Micros),
@@ -284,14 +324,21 @@ func daemonResults(client *http.Client, server, prefix string) ([]benchfmt.Resul
 	return out, nil
 }
 
-// requestStream precomputes the n query URLs. Everything that varies is
-// drawn from one seeded source, so a (artifact, seed, n, batch, k) tuple
-// names one exact workload.
-func requestStream(server string, names []string, n, batch, k int, seed int64) []string {
+// request is one precomputed unit of load: a GET when body is empty, a
+// POST of body otherwise.
+type request struct {
+	url  string
+	body string
+}
+
+// predictStream precomputes the n /v1/predict URLs. Everything that
+// varies is drawn from one seeded source, so a (artifact, seed, n, batch,
+// k) tuple names one exact workload.
+func predictStream(server string, names []string, n, batch, k int, seed int64) []request {
 	rng := rand.New(rand.NewSource(seed))
-	urls := make([]string, n)
+	reqs := make([]request, n)
 	var sb strings.Builder
-	for i := range urls {
+	for i := range reqs {
 		sb.Reset()
 		sb.WriteString(server)
 		sb.WriteString("/v1/predict?")
@@ -304,40 +351,116 @@ func requestStream(server string, names []string, n, batch, k int, seed int64) [
 		}
 		sb.WriteString("&k=")
 		sb.WriteString(strconv.Itoa(k))
-		urls[i] = sb.String()
+		reqs[i].url = sb.String()
 	}
-	return urls
+	return reqs
 }
 
-// doRequest issues one query and returns its wall time; the body is read
-// fully so connection reuse works and the measurement covers the complete
-// response.
-func doRequest(client *http.Client, u string) (time.Duration, error) {
-	start := time.Now()
-	resp, err := client.Get(u)
-	if err != nil {
-		return 0, err
+// queryStream precomputes n /v1/query plan bodies, cycling a seeded mix
+// of the engine's plan shapes: whole-interactome top-k scans, degree- and
+// annotation-filtered scans, per-category grouped top-k, and pinned
+// batches of -batch proteins. The same (artifact, seed, n, batch, k)
+// tuple names one exact bulk workload, like the predict stream.
+func queryStream(server string, names []string, n, batch, k int, seed int64) []request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]request, n)
+	for i := range reqs {
+		var body string
+		switch rng.Intn(4) {
+		case 0:
+			body = fmt.Sprintf(`{"topk":%d}`, k)
+		case 1:
+			body = fmt.Sprintf(`{"filter":[{"field":"degree","op":"ge","value":%d},{"field":"annotated","op":"eq","bool":%v}],"topk":%d}`,
+				1+rng.Intn(4), rng.Intn(2) == 0, k)
+		case 2:
+			body = fmt.Sprintf(`{"group_by":"category","topk":%d}`, k)
+		case 3:
+			var sb strings.Builder
+			sb.WriteString(`{"filter":[{"field":"protein","op":"in","names":[`)
+			for b := 0; b < batch; b++ {
+				if b > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.Quote(names[rng.Intn(len(names))]))
+			}
+			sb.WriteString(fmt.Sprintf(`]}],"topk":%d}`, k))
+			body = sb.String()
+		}
+		reqs[i] = request{url: server + "/v1/query", body: body}
 	}
-	_, err = io.Copy(io.Discard, resp.Body)
+	return reqs
+}
+
+// parseRowCount reads the row_count field out of a /v1/query response
+// header prefix; the header precedes the row stream by construction.
+func parseRowCount(prefix []byte) int64 {
+	const key = `"row_count":`
+	i := bytes.Index(prefix, []byte(key))
+	if i < 0 {
+		return 0
+	}
+	var n int64
+	for _, c := range prefix[i+len(key):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n
+}
+
+// doRequest issues one request and returns its wall time plus, for bulk
+// queries, the row count the daemon reported; the body is read fully so
+// connection reuse works and the measurement covers the complete
+// response.
+func doRequest(client *http.Client, rq request) (time.Duration, int64, error) {
+	start := time.Now()
+	var resp *http.Response
+	var err error
+	if rq.body == "" {
+		resp, err = client.Get(rq.url)
+	} else {
+		resp, err = client.Post(rq.url, "application/json", strings.NewReader(rq.body))
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	var rows int64
+	if rq.body != "" {
+		// The result header ({"artifact":…,"columns":…,"row_count":N,…)
+		// fits well inside the first 256 bytes; rows follow.
+		head := make([]byte, 256)
+		hn, herr := io.ReadFull(resp.Body, head)
+		if herr == io.EOF || herr == io.ErrUnexpectedEOF {
+			herr = nil
+		}
+		if herr != nil {
+			err = herr
+		}
+		rows = parseRowCount(head[:hn])
+	}
+	if err == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+	}
 	if cerr := resp.Body.Close(); err == nil {
 		err = cerr
 	}
 	d := time.Since(start)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("%s: status %d", u, resp.StatusCode)
+		return 0, 0, fmt.Errorf("%s: status %d", rq.url, resp.StatusCode)
 	}
-	return d, nil
+	return d, rows, nil
 }
 
 // runClosedLoop drives the stream with c workers, each issuing its next
 // request as soon as the previous one completes.
-func runClosedLoop(client *http.Client, urls []string, c int) ([]time.Duration, int64, time.Duration) {
-	lat := make([]time.Duration, len(urls))
-	ok := make([]bool, len(urls))
-	var next, errs int64
+func runClosedLoop(client *http.Client, reqs []request, c int) ([]time.Duration, int64, int64, time.Duration) {
+	lat := make([]time.Duration, len(reqs))
+	ok := make([]bool, len(reqs))
+	var next, rows, errs int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < c; w++ {
@@ -346,50 +469,52 @@ func runClosedLoop(client *http.Client, urls []string, c int) ([]time.Duration, 
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(urls) {
+				if i >= len(reqs) {
 					return
 				}
-				d, err := doRequest(client, urls[i])
+				d, r, err := doRequest(client, reqs[i])
 				if err != nil {
 					atomic.AddInt64(&errs, 1)
 					continue
 				}
+				atomic.AddInt64(&rows, r)
 				lat[i], ok[i] = d, true
 			}
 		}()
 	}
 	wg.Wait()
-	return collect(lat, ok), errs, time.Since(start)
+	return collect(lat, ok), rows, errs, time.Since(start)
 }
 
 // runOpenLoop starts request i at i/rate seconds after the run begins,
 // whether or not earlier requests have finished; a daemon that cannot keep
 // up accumulates queueing delay in the measured latencies instead of
 // silently slowing the generator down.
-func runOpenLoop(client *http.Client, urls []string, rate float64) ([]time.Duration, int64, time.Duration) {
-	lat := make([]time.Duration, len(urls))
-	ok := make([]bool, len(urls))
-	var errs int64
+func runOpenLoop(client *http.Client, reqs []request, rate float64) ([]time.Duration, int64, int64, time.Duration) {
+	lat := make([]time.Duration, len(reqs))
+	ok := make([]bool, len(reqs))
+	var rows, errs int64
 	interval := time.Duration(float64(time.Second) / rate)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := range urls {
+	for i := range reqs {
 		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
 			time.Sleep(d)
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			d, err := doRequest(client, urls[i])
+			d, r, err := doRequest(client, reqs[i])
 			if err != nil {
 				atomic.AddInt64(&errs, 1)
 				return
 			}
+			atomic.AddInt64(&rows, r)
 			lat[i], ok[i] = d, true
 		}(i)
 	}
 	wg.Wait()
-	return collect(lat, ok), errs, time.Since(start)
+	return collect(lat, ok), rows, errs, time.Since(start)
 }
 
 // collect gathers the successful latencies, sorted ascending.
@@ -422,10 +547,12 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 // summarize renders the run as benchfmt results: latency percentiles in
 // ns_per_op, plus a throughput entry whose ns_per_op is wall_ns/requests.
-func summarize(prefix string, sorted []time.Duration, wall time.Duration) []benchfmt.Result {
+// kind prefixes the suffixes ("query_" for the bulk workload, "" for
+// predict), so the two workloads' results never collide in one snapshot.
+func summarize(prefix, kind string, sorted []time.Duration, wall time.Duration) []benchfmt.Result {
 	n := int64(len(sorted))
 	res := func(suffix string, ns float64) benchfmt.Result {
-		return benchfmt.Result{Name: prefix + "/" + suffix, Procs: 1, Iterations: n, NsPerOp: ns}
+		return benchfmt.Result{Name: prefix + "/" + kind + suffix, Procs: 1, Iterations: n, NsPerOp: ns}
 	}
 	return []benchfmt.Result{
 		res("p50", float64(percentile(sorted, 0.50))),

@@ -102,6 +102,63 @@ func TestClosedLoopRun(t *testing.T) {
 	}
 }
 
+// TestQueryWorkloadRun drives the bulk-plan workload end to end and
+// checks the query_-prefixed result set, including the rows/sec
+// reciprocal derived from the daemon-reported row counts.
+func TestQueryWorkloadRun(t *testing.T) {
+	artPath, url := fixture(t)
+	out := filepath.Join(t.TempDir(), "query.json")
+	var stderr bytes.Buffer
+	code := run([]string{
+		"-artifact", artPath, "-server", url, "-workload", "query",
+		"-n", "40", "-c", "2", "-batch", "2", "-k", "3", "-seed", "11",
+		"-out", out,
+	}, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchfmt.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"LoadQuery/query_p50", "LoadQuery/query_p90", "LoadQuery/query_p99",
+		"LoadQuery/query_max", "LoadQuery/query_throughput",
+		"LoadQuery/query_ns_per_row",
+		"LoadQuery/daemon_p50", "LoadQuery/daemon_p90", "LoadQuery/daemon_p99",
+	}
+	if len(snap.Results) != len(want) {
+		t.Fatalf("results: %+v", snap.Results)
+	}
+	for i, r := range snap.Results {
+		if r.Name != want[i] {
+			t.Fatalf("result %d named %q, want %q", i, r.Name, want[i])
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("result %+v", r)
+		}
+	}
+	// query_ns_per_row iterates over rows, not requests, and 40 bulk plans
+	// over the paper example must stream well over 40 rows.
+	if rows := snap.Results[5].Iterations; rows <= 40 {
+		t.Fatalf("query_ns_per_row counted %d rows", rows)
+	}
+	if !strings.Contains(stderr.String(), "rows/s") {
+		t.Fatalf("stderr missing rows/s line: %s", stderr.String())
+	}
+}
+
+func TestBadWorkloadRejected(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-artifact", "x", "-workload", "nope"}, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2: %s", code, stderr.String())
+	}
+}
+
 func TestOpenLoopAndMerge(t *testing.T) {
 	artPath, url := fixture(t)
 	bench := filepath.Join(t.TempDir(), "BENCH_x.json")
@@ -139,26 +196,76 @@ func TestOpenLoopAndMerge(t *testing.T) {
 	}
 }
 
-// TestRequestStreamDeterministic: the workload is a pure function of
+// TestRequestStreamDeterministic: both workloads are pure functions of
 // (names, n, batch, k, seed).
 func TestRequestStreamDeterministic(t *testing.T) {
 	names := []string{"p1", "p2", "needs escape+", "p4"}
-	a := requestStream("http://h", names, 50, 2, 5, 9)
-	b := requestStream("http://h", names, 50, 2, 5, 9)
+	a := predictStream("http://h", names, 50, 2, 5, 9)
+	b := predictStream("http://h", names, 50, 2, 5, 9)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed produced different streams")
 	}
-	c := requestStream("http://h", names, 50, 2, 5, 10)
+	c := predictStream("http://h", names, 50, 2, 5, 10)
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical streams")
 	}
-	for _, u := range a {
-		if !strings.HasPrefix(u, "http://h/v1/predict?protein=") || !strings.HasSuffix(u, "&k=5") {
-			t.Fatalf("malformed url %q", u)
+	for _, rq := range a {
+		if rq.body != "" {
+			t.Fatalf("predict request carries a POST body %q", rq.body)
 		}
-		if strings.Count(u, "protein=") != 2 {
-			t.Fatalf("batch size wrong in %q", u)
+		if !strings.HasPrefix(rq.url, "http://h/v1/predict?protein=") || !strings.HasSuffix(rq.url, "&k=5") {
+			t.Fatalf("malformed url %q", rq.url)
 		}
+		if strings.Count(rq.url, "protein=") != 2 {
+			t.Fatalf("batch size wrong in %q", rq.url)
+		}
+	}
+}
+
+// TestQueryStreamDeterministic: the bulk workload is seeded the same way,
+// every request targets /v1/query, and every body is a valid JSON plan.
+func TestQueryStreamDeterministic(t *testing.T) {
+	names := []string{"p1", "p2", `quote"me`, "p4"}
+	a := queryStream("http://h", names, 60, 2, 5, 9)
+	b := queryStream("http://h", names, 60, 2, 5, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := queryStream("http://h", names, 60, 2, 5, 10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	shapes := map[string]bool{}
+	for _, rq := range a {
+		if rq.url != "http://h/v1/query" {
+			t.Fatalf("query url %q", rq.url)
+		}
+		var plan map[string]any
+		if err := json.Unmarshal([]byte(rq.body), &plan); err != nil {
+			t.Fatalf("plan %q is not JSON: %v", rq.body, err)
+		}
+		switch {
+		case plan["group_by"] == "category":
+			shapes["group"] = true
+		case plan["filter"] != nil:
+			shapes["filter"] = true
+		default:
+			shapes["scan"] = true
+		}
+	}
+	if len(shapes) != 3 {
+		t.Fatalf("60 seeded plans cover shapes %v, want all three", shapes)
+	}
+}
+
+// TestParseRowCount pins the header scan doRequest uses to count rows.
+func TestParseRowCount(t *testing.T) {
+	head := `{"artifact":"abc","columns":["protein","score"],"row_count":1234,"rows":[`
+	if got := parseRowCount([]byte(head)); got != 1234 {
+		t.Fatalf("parseRowCount = %d, want 1234", got)
+	}
+	if got := parseRowCount([]byte(`{"rows":[`)); got != 0 {
+		t.Fatalf("parseRowCount without field = %d, want 0", got)
 	}
 }
 

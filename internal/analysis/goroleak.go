@@ -15,6 +15,7 @@ var goroLeakScope = []string{
 	"internal/serve",
 	"internal/obs",
 	"internal/fleet",
+	"internal/query",
 }
 
 // GoroLeak returns the analyzer requiring every goroutine launched in the
@@ -33,7 +34,7 @@ var goroLeakScope = []string{
 func GoroLeak() *Analyzer {
 	return &Analyzer{
 		Name:      "goroleak",
-		Doc:       "require goroutines in internal/{par,serve,obs,fleet} to be joinable via WaitGroup or channel, transitively",
+		Doc:       "require goroutines in internal/{par,serve,obs,fleet,query} to be joinable via WaitGroup or channel, transitively",
 		RunModule: runGoroLeak,
 	}
 }

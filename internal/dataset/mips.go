@@ -271,3 +271,14 @@ func NewMIPS(cfg MIPSConfig) *MIPS {
 		Planted:      planted,
 	}
 }
+
+// CategoryNames returns the display name of each functional category (the
+// GO id of its subtree-root term), in category order — the FunctionNames
+// an artifact built over the benchmark task wants.
+func (m *MIPS) CategoryNames() []string {
+	names := make([]string, len(m.CategoryTerm))
+	for c, ct := range m.CategoryTerm {
+		names[c] = m.Ontology.ID(ct)
+	}
+	return names
+}

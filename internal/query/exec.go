@@ -1,0 +1,524 @@
+package query
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+
+	"lamofinder/internal/jsonx"
+	"lamofinder/internal/par"
+)
+
+// BatchSize is the engine's fixed column-batch width. Every operator
+// consumes and produces batches of exactly this many protein slots (the
+// tail batch is short); chunk boundaries depend only on the protein count,
+// never on the worker count, and 1024 is a multiple of 64 so each batch
+// owns whole words of any shared bitset — two facts that together make
+// results byte-identical at any Parallelism setting.
+const BatchSize = 1024
+
+// program is a compiled, bound plan: predicates split by the column they
+// touch (so each operator runs one tight loop over one array), protein
+// names resolved to a bitset, projection resolved to column ids.
+type program struct {
+	kind    string
+	topk    int
+	degree  []numPred // over the degree column
+	score   []numPred // over score values (row-level)
+	annot   []bool    // annotated-bit wants, ANDed (two contradictory clauses select nothing)
+	protein []uint64  // membership bitset, nil when unfiltered
+	group   bool      // group-by-category mode
+	proj    []uint8
+	cols    []string // projection names, for the response header
+}
+
+// numPred is one compiled numeric comparison. Degree thresholds are kept
+// in float space (the kernel compares float64(degree[p]) op val), which
+// sidesteps integer-rounding edge cases for fractional thresholds: a plan
+// asking degree ge 2.5 selects exactly the proteins a reader would expect.
+type numPred struct {
+	op  uint8
+	val float64
+}
+
+// compile validates p and binds it against v.
+func compile(v *View, p *Plan) (*program, *FieldError) {
+	if fe := p.Validate(); fe != nil {
+		return nil, fe
+	}
+	pr := &program{kind: p.Kind(), topk: p.TopK, group: p.GroupBy == "category"}
+	for i, f := range p.Filter {
+		op, _ := parseOp(f.Op)
+		switch f.Field {
+		case "degree":
+			pr.degree = append(pr.degree, numPred{op: op, val: *f.Value})
+		case "score":
+			pr.score = append(pr.score, numPred{op: op, val: *f.Value})
+		case "annotated":
+			want := *f.Bool
+			if op == opNE {
+				want = !want
+			}
+			pr.annot = append(pr.annot, want)
+		case "protein":
+			bits := make([]uint64, len(v.annotated))
+			for j, name := range f.Names {
+				id, ok := v.byName[name]
+				if !ok {
+					return nil, Errorf(
+						"filter["+strconv.Itoa(i)+"].names["+strconv.Itoa(j)+"]",
+						"unknown protein %q", name)
+				}
+				bits[id>>6] |= 1 << (id & 63)
+			}
+			if pr.protein == nil {
+				pr.protein = bits
+			} else {
+				for w := range pr.protein {
+					pr.protein[w] &= bits[w]
+				}
+			}
+		}
+	}
+	proj := p.Project
+	if len(proj) == 0 {
+		if pr.group {
+			proj = []string{"function", "protein", "score"}
+		} else {
+			proj = []string{"protein", "function", "score"}
+		}
+	}
+	pr.cols = proj
+	pr.proj = make([]uint8, len(proj))
+	for i, c := range proj {
+		pr.proj[i], _ = projectColumn(c)
+	}
+	return pr, nil
+}
+
+// pair is one (protein, score) candidate in a per-category ranking.
+type pair struct {
+	p int32
+	s float64
+}
+
+// pairBefore is the per-category ranking order: descending score, ties
+// toward the smaller protein id — the same tie rule predict uses for
+// functions, applied to the other axis.
+func pairBefore(a, b pair) bool {
+	if a.s > b.s {
+		return true
+	}
+	if a.s < b.s {
+		return false
+	}
+	return a.p < b.p
+}
+
+// scratch is the per-batch working set, pooled so steady-state execution
+// allocates only result buffers.
+type scratch struct {
+	sel  []int32
+	heap []pair
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{sel: make([]int32, 0, BatchSize)}
+}}
+
+// Result is one executed plan, held as per-chunk encoded row buffers until
+// streamed. Keeping chunks separate (instead of concatenating eagerly)
+// lets WriteTo hand each chunk to the socket as-is; order is fixed by
+// chunk index, so the bytes are schedule-independent.
+type Result struct {
+	// Artifact is the digest of the model snapshot the plan ran against.
+	Artifact string
+	// Kind is the plan's metrics kind (scan, topk, group_topk).
+	Kind string
+	// Columns names the projected row fields, in row order.
+	Columns []string
+
+	rowCount int
+	chunks   [][]byte
+}
+
+// RowCount returns the number of emitted rows.
+func (r *Result) RowCount() int { return r.rowCount }
+
+// WriteTo streams the response body: one JSON object with the artifact
+// digest, the projected column names, the row count, and a rows array of
+// fixed-order value arrays, closed with a newline. Each buffered chunk
+// carries a leading ',' before every row; the writer strips the first
+// comma of the first non-empty chunk, so assembly is pure concatenation.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	head := make([]byte, 0, 128)
+	head = append(head, `{"artifact":`...)
+	head = jsonx.AppendString(head, r.Artifact)
+	head = append(head, `,"columns":[`...)
+	for i, c := range r.Columns {
+		if i > 0 {
+			head = append(head, ',')
+		}
+		head = jsonx.AppendString(head, c)
+	}
+	head = append(head, `],"row_count":`...)
+	head = strconv.AppendInt(head, int64(r.rowCount), 10)
+	head = append(head, `,"rows":[`...)
+
+	var n int64
+	if err := writeAll(w, head, &n); err != nil {
+		return n, err
+	}
+	first := true
+	for _, c := range r.chunks {
+		if len(c) == 0 {
+			continue
+		}
+		if first {
+			c = c[1:] // drop the leading ',' of the first emitted row
+			first = false
+		}
+		if err := writeAll(w, c, &n); err != nil {
+			return n, err
+		}
+	}
+	err := writeAll(w, []byte("]}\n"), &n)
+	return n, err
+}
+
+// Bytes materializes the full response body (CLI and test consumers).
+func (r *Result) Bytes() []byte {
+	var b bytes.Buffer
+	_, _ = r.WriteTo(&b) // bytes.Buffer writes cannot fail
+	return b.Bytes()
+}
+
+func writeAll(w io.Writer, b []byte, n *int64) error {
+	m, err := w.Write(b)
+	*n += int64(m)
+	return err
+}
+
+// Execute runs plan against v on up to parallelism workers. The pipeline
+// per batch is: scan (materialize the batch's selection vector) → filter
+// (each predicate compacts the selection in place) → score-gather + topk
+// (rows from the per-protein rankings, or per-category bounded heaps in
+// group mode) → project (append-encode the chosen columns). Batches write
+// only their own index-addressed output slot, so the assembled bytes are
+// identical at any parallelism.
+func Execute(v *View, plan *Plan, parallelism int) (*Result, *FieldError) {
+	prog, fe := compile(v, plan)
+	if fe != nil {
+		return nil, fe
+	}
+	res := &Result{Artifact: v.digest, Kind: prog.kind, Columns: prog.cols}
+	workers := par.Workers(parallelism)
+	var counts []int
+	if prog.group {
+		counts = execGroup(v, prog, workers, res)
+	} else {
+		counts = execPerProtein(v, prog, workers, res)
+	}
+	for _, c := range counts {
+		res.rowCount += c
+	}
+	return res, nil
+}
+
+// filterBatch runs the compiled filter chain over one batch's selection
+// vector, compacting it in place.
+func filterBatch(v *View, prog *program, sel []int32) []int32 {
+	for _, f := range prog.degree {
+		sel = filterDegree(sel, v.degree, f.op, f.val)
+	}
+	for _, want := range prog.annot {
+		sel = filterBits(sel, v.annotated, want)
+	}
+	if prog.protein != nil {
+		sel = filterBits(sel, prog.protein, true)
+	}
+	return sel
+}
+
+// execPerProtein runs the per-protein modes (scan, topk): every batch
+// filters its protein range, then emits each survivor's ranking rows.
+// Returns per-chunk row counts.
+func execPerProtein(v *View, prog *program, workers int, res *Result) []int {
+	nc := par.NumChunks(v.n, BatchSize)
+	res.chunks = make([][]byte, nc)
+	counts := make([]int, nc)
+	par.Chunks(v.n, BatchSize, workers, func(c, lo, hi int) {
+		sc := scratchPool.Get().(*scratch)
+		sel := filterBatch(v, prog, selectRange(sc.sel[:0], int32(lo), int32(hi)))
+		var buf []byte
+		rows := 0
+		for _, p := range sel {
+			buf, rows = appendRankingRows(buf, v, prog, p, rows)
+		}
+		sc.sel = sel[:0]
+		scratchPool.Put(sc)
+		res.chunks[c], counts[c] = buf, rows
+	})
+	return counts
+}
+
+// execGroup runs group_topk: one shared selection bitset built batch-wise
+// (each batch owns whole bitset words), then one bounded-heap scan per
+// category column.
+func execGroup(v *View, prog *program, workers int, res *Result) []int {
+	live := make([]uint64, len(v.annotated))
+	par.Chunks(v.n, BatchSize, workers, func(c, lo, hi int) {
+		sc := scratchPool.Get().(*scratch)
+		sel := filterBatch(v, prog, selectRange(sc.sel[:0], int32(lo), int32(hi)))
+		markBits(live, sel)
+		sc.sel = sel[:0]
+		scratchPool.Put(sc)
+	})
+
+	res.chunks = make([][]byte, v.nf)
+	counts := make([]int, v.nf)
+	par.Do(v.nf, workers, func(f int) {
+		sc := scratchPool.Get().(*scratch)
+		col := v.cols[f*v.n : (f+1)*v.n]
+		k := prog.topk
+		if k <= 0 || k > v.n {
+			k = v.n
+		}
+		top := topkColumn(sc.heap[:0], col, live, prog.score, k)
+		var buf []byte
+		for _, e := range top {
+			buf = appendRow(buf, v, prog.proj, e.p, int32(f), e.s)
+		}
+		sc.heap = top[:0]
+		scratchPool.Put(sc)
+		res.chunks[f], counts[f] = buf, len(top)
+	})
+	return counts
+}
+
+// appendRankingRows emits protein p's filtered, truncated ranking rows and
+// returns the updated running row count. Without score predicates the
+// emitted rows are exactly Ranking(p)[:k] — what /v1/predict serves —
+// which is the parity the determinism tests pin.
+//
+// alloc-budget: 0
+func appendRankingRows(buf []byte, v *View, prog *program, p int32, rows int) ([]byte, int) {
+	emitted := 0
+	for _, r := range v.ranked[p] {
+		if !passScore(r.Score, prog.score) {
+			continue
+		}
+		buf = appendRow(buf, v, prog.proj, p, int32(r.Function), r.Score)
+		emitted++
+		if prog.topk > 0 && emitted >= prog.topk {
+			break
+		}
+	}
+	return buf, rows + emitted
+}
+
+// selectRange materializes the batch's identity selection vector.
+//
+// alloc-budget: 0
+func selectRange(sel []int32, lo, hi int32) []int32 {
+	for p := lo; p < hi; p++ {
+		sel = append(sel, p)
+	}
+	return sel
+}
+
+// filterDegree compacts sel in place, keeping proteins whose degree
+// satisfies op against val. One branch-predictable comparison loop per
+// operator, over the contiguous degree column.
+//
+// alloc-budget: 0
+func filterDegree(sel []int32, degree []int32, op uint8, val float64) []int32 {
+	w := 0
+	switch op {
+	case opEQ:
+		for _, p := range sel {
+			if d := float64(degree[p]); d >= val && d <= val {
+				sel[w] = p
+				w++
+			}
+		}
+	case opNE:
+		for _, p := range sel {
+			if d := float64(degree[p]); d < val || d > val {
+				sel[w] = p
+				w++
+			}
+		}
+	case opLT:
+		for _, p := range sel {
+			if float64(degree[p]) < val {
+				sel[w] = p
+				w++
+			}
+		}
+	case opLE:
+		for _, p := range sel {
+			if float64(degree[p]) <= val {
+				sel[w] = p
+				w++
+			}
+		}
+	case opGT:
+		for _, p := range sel {
+			if float64(degree[p]) > val {
+				sel[w] = p
+				w++
+			}
+		}
+	case opGE:
+		for _, p := range sel {
+			if float64(degree[p]) >= val {
+				sel[w] = p
+				w++
+			}
+		}
+	}
+	return sel[:w]
+}
+
+// filterBits compacts sel in place, keeping proteins whose bit equals want.
+//
+// alloc-budget: 0
+func filterBits(sel []int32, bits []uint64, want bool) []int32 {
+	w := 0
+	for _, p := range sel {
+		if (bits[p>>6]&(1<<(uint(p)&63)) != 0) == want {
+			sel[w] = p
+			w++
+		}
+	}
+	return sel[:w]
+}
+
+// markBits sets the bit of every selected protein. Callers partition
+// proteins into BatchSize batches, and BatchSize is a multiple of 64, so
+// concurrent batches touch disjoint words.
+//
+// alloc-budget: 0
+func markBits(bits []uint64, sel []int32) {
+	for _, p := range sel {
+		bits[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// passScore reports whether s satisfies every score predicate.
+//
+// alloc-budget: 0
+func passScore(s float64, preds []numPred) bool {
+	for _, f := range preds {
+		switch f.op {
+		case opLT:
+			if !(s < f.val) {
+				return false
+			}
+		case opLE:
+			if !(s <= f.val) {
+				return false
+			}
+		case opGT:
+			if !(s > f.val) {
+				return false
+			}
+		case opGE:
+			if !(s >= f.val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// topkColumn scans one category column and keeps the k best selected
+// proteins by (score desc, protein asc), mirroring predict's rank order on
+// the protein axis. Only positive scores rank — the same rule predict
+// applies to per-protein rankings — and score predicates apply before the
+// heap. The bounded heap keeps the worst survivor at the root; the final
+// heapsort leaves dst best-first.
+//
+// alloc-budget: 0
+func topkColumn(dst []pair, col []float64, live []uint64, preds []numPred, k int) []pair {
+	for p, s := range col {
+		if s <= 0 || live[p>>6]&(1<<(uint(p)&63)) == 0 || !passScore(s, preds) {
+			continue
+		}
+		c := pair{p: int32(p), s: s}
+		if len(dst) < k {
+			dst = append(dst, c)
+			siftUp(dst, len(dst)-1)
+		} else if pairBefore(c, dst[0]) {
+			dst[0] = c
+			siftDown(dst, 0, len(dst))
+		}
+	}
+	for m := len(dst) - 1; m > 0; m-- {
+		dst[0], dst[m] = dst[m], dst[0]
+		siftDown(dst, 0, m)
+	}
+	return dst
+}
+
+// siftUp restores the worst-at-root heap invariant after appending at i.
+//
+// alloc-budget: 0
+func siftUp(h []pair, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pairBefore(h[parent], h[i]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the invariant from the root over h[:m].
+//
+// alloc-budget: 0
+func siftDown(h []pair, i, m int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < m && pairBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < m && pairBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// appendRow append-encodes one projected row as a JSON array, prefixed
+// with ',' (the writer strips the first row's).
+//
+// alloc-budget: 0
+func appendRow(buf []byte, v *View, proj []uint8, p, f int32, score float64) []byte {
+	buf = append(buf, ',', '[')
+	for i, c := range proj {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		switch c {
+		case colProtein:
+			buf = jsonx.AppendString(buf, v.names[p])
+		case colDegree:
+			buf = strconv.AppendInt(buf, int64(v.degree[p]), 10)
+		case colFunction:
+			buf = strconv.AppendInt(buf, int64(f), 10)
+		case colName:
+			buf = jsonx.AppendString(buf, v.fnNames[f])
+		case colScore:
+			buf = jsonx.AppendFloat(buf, score)
+		}
+	}
+	return append(buf, ']')
+}

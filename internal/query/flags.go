@@ -1,0 +1,101 @@
+package query
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PlanFlags is the shared command-line surface for building a query plan,
+// used by both `lamod query` (offline) and `lamoctl query` (against a
+// daemon). A plan comes either whole from a JSON file (-plan) or is
+// assembled from the individual flags; -plan wins when both are given so
+// a canned plan file is never silently mutated by leftover flags.
+type PlanFlags struct {
+	planFile  *string
+	topK      *int
+	groupBy   *string
+	minDegree *float64
+	maxDegree *float64
+	minScore  *float64
+	annotated *string
+	proteins  *string
+	project   *string
+}
+
+// AddPlanFlags registers the plan-building flags on fs and returns the
+// handle to build the plan from after parsing.
+func AddPlanFlags(fs *flag.FlagSet) *PlanFlags {
+	return &PlanFlags{
+		planFile:  fs.String("plan", "", "JSON plan file; overrides the plan-building flags"),
+		topK:      fs.Int("topk", 0, "rows per protein (or per category with -group-by); 0 = all"),
+		groupBy:   fs.String("group-by", "", `group rows by "category" instead of per protein`),
+		minDegree: fs.Float64("min-degree", -1, "keep proteins with degree >= N (-1 = no bound)"),
+		maxDegree: fs.Float64("max-degree", -1, "keep proteins with degree <= N (-1 = no bound)"),
+		minScore:  fs.Float64("min-score", -1, "keep rows with score >= X (-1 = no bound)"),
+		annotated: fs.String("annotated", "", "keep only annotated (true) or unannotated (false) proteins"),
+		proteins:  fs.String("proteins", "", "comma-separated protein names to pin the scan to"),
+		project:   fs.String("project", "", "comma-separated output columns (protein, degree, function, name, score)"),
+	}
+}
+
+// Plan materializes the parsed flags into a Plan. Flag-level mistakes
+// (unreadable file, bad -annotated literal) surface here; semantic plan
+// errors are left to Plan.Validate via Execute, so both plan sources are
+// validated by the same path.
+func (pf *PlanFlags) Plan() (*Plan, error) {
+	if *pf.planFile != "" {
+		data, err := os.ReadFile(*pf.planFile)
+		if err != nil {
+			return nil, err
+		}
+		var p Plan
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("parse plan %s: %v", *pf.planFile, err)
+		}
+		return &p, nil
+	}
+	p := &Plan{GroupBy: *pf.groupBy, TopK: *pf.topK}
+	if *pf.minDegree >= 0 {
+		v := *pf.minDegree
+		p.Filter = append(p.Filter, Predicate{Field: "degree", Op: "ge", Value: &v})
+	}
+	if *pf.maxDegree >= 0 {
+		v := *pf.maxDegree
+		p.Filter = append(p.Filter, Predicate{Field: "degree", Op: "le", Value: &v})
+	}
+	if *pf.minScore >= 0 {
+		v := *pf.minScore
+		p.Filter = append(p.Filter, Predicate{Field: "score", Op: "ge", Value: &v})
+	}
+	if *pf.annotated != "" {
+		want, err := strconv.ParseBool(*pf.annotated)
+		if err != nil {
+			return nil, fmt.Errorf("-annotated must be true or false, got %q", *pf.annotated)
+		}
+		p.Filter = append(p.Filter, Predicate{Field: "annotated", Op: "eq", Bool: &want})
+	}
+	if *pf.proteins != "" {
+		names := splitList(*pf.proteins)
+		p.Filter = append(p.Filter, Predicate{Field: "protein", Op: "in", Names: names})
+	}
+	if *pf.project != "" {
+		p.Project = splitList(*pf.project)
+	}
+	return p, nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty items so "a, b," parses as the user meant it.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}

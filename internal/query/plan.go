@@ -1,0 +1,262 @@
+// Package query is the vectorized bulk-prediction engine over a columnar
+// view of the artifact score index. A structured JSON plan (scan → filter
+// → score-gather → topk → project, plus a group-by-category top-k) binds
+// against category-major float64 score columns plus protein id/degree/
+// annotated columns, and executes as a pipeline of vectorized operators:
+// each operator consumes and produces fixed-size column batches with
+// selection vectors, and batches fan across internal/par with
+// index-addressed output slots, so result bytes are identical at any
+// Parallelism setting.
+//
+// One plan answers the bulk workloads the single-protein /v1/predict
+// endpoint degenerates on: "score every unannotated protein", "top-k per
+// functional category above degree d", "full score table for this protein
+// set" — one request, one pass over the columns, instead of N HTTP round
+// trips re-ranking the same index N times.
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Plan is the structured query: which proteins to scan, the predicates
+// that filter them, how to rank, and which output columns to project.
+//
+//	{"filter":[{"field":"degree","op":"ge","value":3},
+//	           {"field":"annotated","op":"eq","bool":false}],
+//	 "topk":5,
+//	 "project":["protein","function","score"]}
+//
+// GroupBy "" ranks functions per protein (each selected protein yields its
+// top-k functions, exactly /v1/predict's ranking); GroupBy "category"
+// ranks proteins per function (each score column yields its top-k selected
+// proteins — the whole-matrix view ensemble and eval comparisons consume).
+type Plan struct {
+	// Scan names the scanned relation; "" and "proteins" are the only
+	// values (the score index has one table).
+	Scan string `json:"scan,omitempty"`
+	// Filter predicates AND together, in order.
+	Filter []Predicate `json:"filter,omitempty"`
+	// GroupBy is "" (rows per protein) or "category" (rows per function).
+	GroupBy string `json:"group_by,omitempty"`
+	// TopK truncates each group's ranking (0 = no truncation: every
+	// positive score).
+	TopK int `json:"topk,omitempty"`
+	// Project lists the output columns, any of "protein", "degree",
+	// "function", "name", "score". Empty means the mode default:
+	// [protein function score] per protein, [function protein score] per
+	// category.
+	Project []string `json:"project,omitempty"`
+}
+
+// Predicate is one filter clause. Value fields are field-specific: degree
+// and score compare against Value; annotated compares against Bool;
+// protein membership lists Names.
+type Predicate struct {
+	Field string   `json:"field"`
+	Op    string   `json:"op"`
+	Value *float64 `json:"value,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+	Names []string `json:"names,omitempty"`
+}
+
+// FieldError is one structured plan-validation failure: the offending
+// field (dotted path into the plan or request) and the reason. It renders
+// as the daemon's 400 JSON body, so clients can point at the exact knob
+// instead of parsing prose.
+type FieldError struct {
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+func (e *FieldError) Error() string { return e.Field + ": " + e.Reason }
+
+// Errorf builds a FieldError with a formatted reason.
+func Errorf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Plan kinds, for metrics labels: one histogram per plan shape, so a bulk
+// scan cannot hide a slow group-by behind one blended percentile.
+const (
+	KindScan     = "scan"       // per-protein rows, no truncation
+	KindTopK     = "topk"       // per-protein top-k
+	KindGroupTop = "group_topk" // per-category top-k
+)
+
+// Kinds lists every plan kind in fixed order (metrics iterate it).
+func Kinds() []string { return []string{KindScan, KindTopK, KindGroupTop} }
+
+// Kind classifies the plan for metrics. Call only on validated plans.
+func (p *Plan) Kind() string {
+	switch {
+	case p.GroupBy == "category":
+		return KindGroupTop
+	case p.TopK > 0:
+		return KindTopK
+	default:
+		return KindScan
+	}
+}
+
+// Projection column ids, in the order the columns may appear in a row.
+const (
+	colProtein = uint8(iota)
+	colDegree
+	colFunction
+	colName
+	colScore
+)
+
+// projectColumn resolves one Project entry.
+func projectColumn(name string) (uint8, bool) {
+	switch name {
+	case "protein":
+		return colProtein, true
+	case "degree":
+		return colDegree, true
+	case "function":
+		return colFunction, true
+	case "name":
+		return colName, true
+	case "score":
+		return colScore, true
+	}
+	return 0, false
+}
+
+// predicate ops, compiled from their JSON names.
+const (
+	opEQ = uint8(iota)
+	opNE
+	opLT
+	opLE
+	opGT
+	opGE
+	opIN
+)
+
+func parseOp(s string) (uint8, bool) {
+	switch s {
+	case "eq":
+		return opEQ, true
+	case "ne":
+		return opNE, true
+	case "lt":
+		return opLT, true
+	case "le":
+		return opLE, true
+	case "gt":
+		return opGT, true
+	case "ge":
+		return opGE, true
+	case "in":
+		return opIN, true
+	}
+	return 0, false
+}
+
+// Validate checks the plan's structure: field names, operator/field
+// combinations, value shapes, top-k bounds. It is the one validation path
+// every consumer shares — the daemon's /v1/query, lamoctl's client-side
+// pre-flight, and lamod's offline executor — so a plan rejected anywhere
+// is rejected everywhere, with the same (field, reason) pair. Protein
+// names resolve later, at bind time, because they need a View.
+func (p *Plan) Validate() *FieldError {
+	if p.Scan != "" && p.Scan != "proteins" {
+		return Errorf("scan", "unknown relation %q (only \"proteins\" exists)", p.Scan)
+	}
+	if p.GroupBy != "" && p.GroupBy != "category" {
+		return Errorf("group_by", "must be empty or \"category\", got %q", p.GroupBy)
+	}
+	if fe := ValidateTopK(p.TopK); fe != nil {
+		return fe
+	}
+	for i, pr := range p.Filter {
+		if fe := pr.validate(i); fe != nil {
+			return fe
+		}
+	}
+	for i, c := range p.Project {
+		if _, ok := projectColumn(c); !ok {
+			return Errorf("project["+strconv.Itoa(i)+"]",
+				"unknown column %q (want protein, degree, function, name, or score)", c)
+		}
+	}
+	return nil
+}
+
+// validate checks one predicate; i locates it in error fields.
+func (pr *Predicate) validate(i int) *FieldError {
+	at := func(sub string) string { return "filter[" + strconv.Itoa(i) + "]." + sub }
+	op, ok := parseOp(pr.Op)
+	if !ok {
+		return Errorf(at("op"), "unknown operator %q (want eq, ne, lt, le, gt, ge, or in)", pr.Op)
+	}
+	switch pr.Field {
+	case "degree":
+		if op == opIN {
+			return Errorf(at("op"), "operator in applies only to field protein")
+		}
+		if pr.Value == nil {
+			return Errorf(at("value"), "degree predicates need a numeric value")
+		}
+		if math.IsNaN(*pr.Value) || math.IsInf(*pr.Value, 0) {
+			return Errorf(at("value"), "degree threshold must be finite")
+		}
+	case "score":
+		switch op {
+		case opLT, opLE, opGT, opGE:
+		default:
+			return Errorf(at("op"), "score predicates support lt, le, gt, ge only")
+		}
+		if pr.Value == nil {
+			return Errorf(at("value"), "score predicates need a numeric value")
+		}
+		if math.IsNaN(*pr.Value) || math.IsInf(*pr.Value, 0) {
+			return Errorf(at("value"), "score threshold must be finite")
+		}
+	case "annotated":
+		if op != opEQ && op != opNE {
+			return Errorf(at("op"), "annotated predicates support eq and ne only")
+		}
+		if pr.Bool == nil {
+			return Errorf(at("bool"), "annotated predicates need a boolean")
+		}
+	case "protein":
+		if op != opIN {
+			return Errorf(at("op"), "protein predicates support in only")
+		}
+		if len(pr.Names) == 0 {
+			return Errorf(at("names"), "protein in needs at least one name")
+		}
+	default:
+		return Errorf(at("field"),
+			"unknown field %q (want degree, score, annotated, or protein)", pr.Field)
+	}
+	return nil
+}
+
+// ValidateTopK is the shared top-k bound check: /v1/predict's k parameter
+// and a plan's topk field go through the same rule, so both endpoints
+// reject the same inputs with the same structured error.
+func ValidateTopK(k int) *FieldError {
+	if k < 0 {
+		return Errorf("topk", "must be non-negative, got %d", k)
+	}
+	return nil
+}
+
+// ValidateBatch is the shared request-size check for endpoints that cap
+// the proteins accepted per call.
+func ValidateBatch(n, max int) *FieldError {
+	if n == 0 {
+		return Errorf("proteins", "no proteins named")
+	}
+	if max > 0 && n > max {
+		return Errorf("proteins", "%d proteins exceeds the batch cap of %d", n, max)
+	}
+	return nil
+}

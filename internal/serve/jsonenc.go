@@ -1,10 +1,9 @@
 package serve
 
 import (
-	"math"
 	"strconv"
-	"unicode/utf8"
 
+	"lamofinder/internal/jsonx"
 	"lamofinder/internal/predict"
 )
 
@@ -12,101 +11,10 @@ import (
 // Responses were previously rendered by encoding/json over response
 // structs; the append-style encoder below produces byte-identical output
 // for the fixed /v1/predict shape without reflection or intermediate
-// buffers, so an index hit can serve entirely from a pooled []byte.
-// TestAppendJSONStringMatchesStdlib / TestAppendJSONFloatMatchesStdlib /
-// TestAppendPredictResponseMatchesStdlib pin the compatibility.
-
-const jsonHex = "0123456789abcdef"
-
-// jsonSafe marks the ASCII bytes encoding/json emits verbatim inside a
-// string: printable, and none of '"', '\\', '<', '>', '&' (the HTML
-// escapes Marshal applies by default).
-var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
-	for c := 0x20; c < utf8.RuneSelf; c++ {
-		safe[c] = true
-	}
-	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
-		safe[c] = false
-	}
-	return safe
-}()
-
-// appendJSONString appends s as a JSON string literal, escaping exactly as
-// encoding/json.Marshal does (HTML escaping included).
-func appendJSONString(b []byte, s string) []byte {
-	b = append(b, '"')
-	start := 0
-	for i := 0; i < len(s); {
-		if c := s[i]; c < utf8.RuneSelf {
-			if jsonSafe[c] {
-				i++
-				continue
-			}
-			b = append(b, s[start:i]...)
-			switch c {
-			case '\\', '"':
-				b = append(b, '\\', c)
-			case '\b':
-				b = append(b, '\\', 'b')
-			case '\f':
-				b = append(b, '\\', 'f')
-			case '\n':
-				b = append(b, '\\', 'n')
-			case '\r':
-				b = append(b, '\\', 'r')
-			case '\t':
-				b = append(b, '\\', 't')
-			default:
-				// Control characters, plus the HTML-sensitive trio.
-				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
-			}
-			i++
-			start = i
-			continue
-		}
-		r, size := utf8.DecodeRuneInString(s[i:])
-		if r == utf8.RuneError && size == 1 {
-			// Invalid UTF-8 byte: Marshal writes the replacement character
-			// as an escape, not as raw bytes.
-			b = append(b, s[start:i]...)
-			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
-			i += size
-			start = i
-			continue
-		}
-		if r == '\u2028' || r == '\u2029' {
-			b = append(b, s[start:i]...)
-			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
-			i += size
-			start = i
-			continue
-		}
-		i += size
-	}
-	b = append(b, s[start:]...)
-	return append(b, '"')
-}
-
-// appendJSONFloat appends f exactly as encoding/json renders a float64:
-// shortest round-trip form, 'f' format inside [1e-6, 1e21), 'e' outside,
-// with the exponent's leading zero trimmed. NaN and infinities — which
-// Marshal refuses outright — never reach the encoder: scores are Eq.-5
-// outputs normalized into [0, 1].
-func appendJSONFloat(b []byte, f float64) []byte {
-	abs := math.Abs(f)
-	format := byte('f')
-	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
-		format = 'e'
-	}
-	b = strconv.AppendFloat(b, f, format, -1, 64)
-	if format == 'e' {
-		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
-			b[n-2] = b[n-1]
-			b = b[:n-1]
-		}
-	}
-	return b
-}
+// buffers, so an index hit can serve entirely from a pooled []byte. The
+// string and float primitives live in internal/jsonx (shared with the
+// bulk-query row encoder); TestAppendPredictResponseMatchesStdlib pins the
+// response-shape compatibility.
 
 // appendPredictResponse renders the full /v1/predict body (trailing
 // newline included): byte-for-byte what json.Marshal produces over
@@ -118,7 +26,7 @@ func appendJSONFloat(b []byte, f float64) []byte {
 func appendPredictResponse(buf []byte, digest string, k int, proteins []string,
 	rankings [][]predict.Ranked, fnNames []string) []byte {
 	buf = append(buf, `{"artifact":`...)
-	buf = appendJSONString(buf, digest)
+	buf = jsonx.AppendString(buf, digest)
 	buf = append(buf, `,"k":`...)
 	buf = strconv.AppendInt(buf, int64(k), 10)
 	buf = append(buf, `,"results":[`...)
@@ -127,7 +35,7 @@ func appendPredictResponse(buf []byte, digest string, k int, proteins []string,
 			buf = append(buf, ',')
 		}
 		buf = append(buf, `{"protein":`...)
-		buf = appendJSONString(buf, name)
+		buf = jsonx.AppendString(buf, name)
 		buf = append(buf, `,"predictions":[`...)
 		for j, r := range rankings[i] {
 			if j > 0 {
@@ -136,9 +44,9 @@ func appendPredictResponse(buf []byte, digest string, k int, proteins []string,
 			buf = append(buf, `{"function":`...)
 			buf = strconv.AppendInt(buf, int64(r.Function), 10)
 			buf = append(buf, `,"name":`...)
-			buf = appendJSONString(buf, fnNames[r.Function])
+			buf = jsonx.AppendString(buf, fnNames[r.Function])
 			buf = append(buf, `,"score":`...)
-			buf = appendJSONFloat(buf, r.Score)
+			buf = jsonx.AppendFloat(buf, r.Score)
 			buf = append(buf, '}')
 		}
 		buf = append(buf, `]}`...)

@@ -3,84 +3,10 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
-	"math"
-	"math/rand"
 	"testing"
 
 	"lamofinder/internal/predict"
 )
-
-// TestAppendJSONStringMatchesStdlib pins the hand-rolled string escaper to
-// encoding/json byte-for-byte, including the HTML escapes, control
-// characters, astral-plane runes, invalid UTF-8, and the U+2028/U+2029
-// JavaScript line separators Marshal special-cases.
-func TestAppendJSONStringMatchesStdlib(t *testing.T) {
-	cases := []string{
-		"",
-		"p1",
-		"YGR192C",
-		`quote " backslash \ slash /`,
-		"tab\tnewline\ncarriage\rmix",
-		"control \x00 \x01 \x1f bytes",
-		"html <b>&amp;</b> sensitive",
-		"héllo wörld",
-		"日本語テキスト",
-		"emoji 🧬 protein",
-		"line sep \u2028 and para sep \u2029",
-		"invalid \xff\xfe utf8",
-		"truncated \xc3",
-		"mixed \xed\xa0\x80 surrogate bytes",
-		"\x7f del byte",
-	}
-	rng := rand.New(rand.NewSource(7))
-	for i := 0; i < 64; i++ {
-		b := make([]byte, rng.Intn(40))
-		for j := range b {
-			b[j] = byte(rng.Intn(256))
-		}
-		cases = append(cases, string(b))
-	}
-	for _, s := range cases {
-		want, err := json.Marshal(s)
-		if err != nil {
-			t.Fatalf("%q: %v", s, err)
-		}
-		got := appendJSONString(nil, s)
-		if !bytes.Equal(got, want) {
-			t.Errorf("string %q: got %s, stdlib %s", s, got, want)
-		}
-	}
-}
-
-// TestAppendJSONFloatMatchesStdlib pins the float encoder to encoding/json
-// across the format boundaries (1e-6, 1e21), negative zero, subnormals, and
-// a seeded sweep of random magnitudes.
-func TestAppendJSONFloatMatchesStdlib(t *testing.T) {
-	cases := []float64{
-		0, 1, -1, 0.5, 2.0 / 3.0, 1.0 / 3.0, 0.1, 3.141592653589793,
-		1e-6, 9.999999e-7, 1e-7, 1e20, 1e21, 9.99e20, 1.1e21, 1e-300, 5e-324,
-		math.MaxFloat64, math.SmallestNonzeroFloat64,
-		math.Copysign(0, -1), -2.5e-8, 6.02214076e23,
-	}
-	rng := rand.New(rand.NewSource(11))
-	for i := 0; i < 400; i++ {
-		f := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
-		cases = append(cases, f, -f)
-	}
-	for i := 0; i < 200; i++ {
-		cases = append(cases, rng.Float64()) // the [0,1) score range served in practice
-	}
-	for _, f := range cases {
-		want, err := json.Marshal(f)
-		if err != nil {
-			t.Fatalf("%v: %v", f, err)
-		}
-		got := appendJSONFloat(nil, f)
-		if !bytes.Equal(got, want) {
-			t.Errorf("float %v: got %s, stdlib %s", f, got, want)
-		}
-	}
-}
 
 // TestAppendPredictResponseMatchesStdlib renders full response bodies both
 // ways and requires identical bytes, including empty rankings, empty

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"lamofinder/internal/obs"
+	"lamofinder/internal/query"
 )
 
 // Route indices for per-route latency histograms. A fixed enum instead of
@@ -11,6 +12,7 @@ import (
 // snapshot free of map iteration over anything non-deterministic.
 const (
 	routePredict = iota
+	routeQuery   // the /v1/query bulk plan endpoint
 	routeHealthz
 	routeMotifs
 	routeMetrics // the JSON /v1/metrics snapshot
@@ -23,13 +25,15 @@ const (
 // routeNames are the static route labels used in access logs, the JSON
 // latency map and the Prometheus route label. Static strings so recording
 // a request never allocates.
-var routeNames = [numRoutes]string{"predict", "healthz", "motifs", "metrics", "prom", "reload", "other"}
+var routeNames = [numRoutes]string{"predict", "query", "healthz", "motifs", "metrics", "prom", "reload", "other"}
 
 // routeOf classifies a request path.
 func routeOf(path string) int {
 	switch path {
 	case "/v1/predict":
 		return routePredict
+	case "/v1/query":
+		return routeQuery
 	case "/v1/healthz":
 		return routeHealthz
 	case "/v1/motifs":
@@ -45,6 +49,24 @@ func routeOf(path string) int {
 	}
 }
 
+// numPlanKinds mirrors len(query.Kinds()): one latency histogram per plan
+// shape, so a cheap pinned top-k cannot hide a slow full scan behind one
+// blended percentile.
+const numPlanKinds = 3
+
+// planKindIndex maps a plan kind to its histogram slot, following the
+// fixed order of query.Kinds().
+func planKindIndex(kind string) int {
+	for i, k := range planKindNames() {
+		if k == kind {
+			return i
+		}
+	}
+	return 0
+}
+
+func planKindNames() []string { return query.Kinds() }
+
 // metrics holds the daemon's monotonic counters and per-route latency
 // histograms. Everything is atomic so handlers update them without locks;
 // Snapshot is a point-in-time read, not a consistent cut, which is all a
@@ -56,8 +78,11 @@ type metrics struct {
 	indexHits    atomic.Int64 // proteins answered from the score index
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
-	flightShared atomic.Int64             // queries that piggybacked on an in-flight twin
-	lat          [numRoutes]obs.Histogram // per-route request wall time
+	flightShared atomic.Int64                // queries that piggybacked on an in-flight twin
+	queries      atomic.Int64                // bulk plans executed via /v1/query
+	queryRows    atomic.Int64                // result rows streamed by /v1/query
+	lat          [numRoutes]obs.Histogram    // per-route request wall time
+	planLat      [numPlanKinds]obs.Histogram // /v1/query execute+stream time by plan kind
 }
 
 // RouteLatency is one route's latency summary inside MetricsSnapshot:
@@ -86,10 +111,16 @@ type MetricsSnapshot struct {
 	CacheHits        int64                   `json:"cache_hits"`
 	CacheMisses      int64                   `json:"cache_misses"`
 	FlightShared     int64                   `json:"singleflight_shared"`
+	Queries          int64                   `json:"queries"`
+	QueryRows        int64                   `json:"query_rows"`
 	LatencyMicros    int64                   `json:"latency_micros_total"`
 	CacheEntries     int                     `json:"cache_entries"`
 	AccessLogDropped int64                   `json:"access_log_dropped"`
 	Latency          map[string]RouteLatency `json:"latency"`
+	// QueryLatency breaks /v1/query down by plan kind (scan, topk,
+	// group_topk), measuring execute+stream time rather than whole-request
+	// wall time; additive, so existing scrapers keep working.
+	QueryLatency map[string]RouteLatency `json:"query_latency"`
 }
 
 func (m *metrics) snapshot(digest string, cacheEntries int, accessDropped int64) MetricsSnapshot {
@@ -102,9 +133,12 @@ func (m *metrics) snapshot(digest string, cacheEntries int, accessDropped int64)
 		CacheHits:        m.cacheHits.Load(),
 		CacheMisses:      m.cacheMisses.Load(),
 		FlightShared:     m.flightShared.Load(),
+		Queries:          m.queries.Load(),
+		QueryRows:        m.queryRows.Load(),
 		CacheEntries:     cacheEntries,
 		AccessLogDropped: accessDropped,
 		Latency:          make(map[string]RouteLatency, numRoutes),
+		QueryLatency:     make(map[string]RouteLatency, numPlanKinds),
 	}
 	for r := 0; r < numRoutes; r++ {
 		hs := m.lat[r].Snapshot()
@@ -113,6 +147,19 @@ func (m *metrics) snapshot(digest string, cacheEntries int, accessDropped int64)
 			continue
 		}
 		s.Latency[routeNames[r]] = RouteLatency{
+			Count:     hs.Count,
+			SumMicros: hs.SumMicros,
+			P50Micros: hs.Quantile(0.50),
+			P90Micros: hs.Quantile(0.90),
+			P99Micros: hs.Quantile(0.99),
+		}
+	}
+	for i, kind := range planKindNames() {
+		hs := m.planLat[i].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		s.QueryLatency[kind] = RouteLatency{
 			Count:     hs.Count,
 			SumMicros: hs.SumMicros,
 			P50Micros: hs.Quantile(0.50),

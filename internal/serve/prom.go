@@ -10,8 +10,14 @@ import (
 // promRouteLabels are the pre-rendered route label pairs for the latency
 // histograms, one per route index.
 var promRouteLabels = [numRoutes]string{
-	`route="predict"`, `route="healthz"`, `route="motifs"`,
+	`route="predict"`, `route="query"`, `route="healthz"`, `route="motifs"`,
 	`route="metrics"`, `route="prom"`, `route="reload"`, `route="other"`,
+}
+
+// promPlanLabels are the pre-rendered plan-kind label pairs for the
+// /v1/query latency histograms, in query.Kinds() order.
+var promPlanLabels = [numPlanKinds]string{
+	`plan="scan"`, `plan="topk"`, `plan="group_topk"`,
 }
 
 var contentTypeProm = []string{"text/plain; version=0.0.4; charset=utf-8"}
@@ -42,6 +48,10 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	buf = obs.AppendPromInt(buf, "lamod_cache_misses_total", "", s.met.cacheMisses.Load())
 	buf = obs.AppendPromHeader(buf, "lamod_singleflight_shared_total", "counter", "Queries that piggybacked on an in-flight twin.")
 	buf = obs.AppendPromInt(buf, "lamod_singleflight_shared_total", "", s.met.flightShared.Load())
+	buf = obs.AppendPromHeader(buf, "lamod_queries_total", "counter", "Bulk plans executed via /v1/query.")
+	buf = obs.AppendPromInt(buf, "lamod_queries_total", "", s.met.queries.Load())
+	buf = obs.AppendPromHeader(buf, "lamod_query_rows_total", "counter", "Result rows streamed by /v1/query.")
+	buf = obs.AppendPromInt(buf, "lamod_query_rows_total", "", s.met.queryRows.Load())
 	buf = obs.AppendPromHeader(buf, "lamod_access_log_dropped_total", "counter", "Access-log records dropped because the ring was full.")
 	buf = obs.AppendPromInt(buf, "lamod_access_log_dropped_total", "", s.access.Dropped())
 
@@ -55,6 +65,15 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		buf = obs.AppendPromHistogram(buf, "lamod_request_duration_seconds", promRouteLabels[route], hs)
+	}
+
+	buf = obs.AppendPromHeader(buf, "lamod_query_duration_seconds", "histogram", "Bulk-plan execute+stream time by plan kind.")
+	for kind := 0; kind < numPlanKinds; kind++ {
+		hs := s.met.planLat[kind].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		buf = obs.AppendPromHistogram(buf, "lamod_query_duration_seconds", promPlanLabels[kind], hs)
 	}
 
 	var ms runtime.MemStats

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timeIt returns fn's wall time.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// These benchmarks pin the tentpole claim of the bulk-query engine: at
+// interactome scale (1877 proteins), one /v1/query plan must beat an
+// equivalent loop of single-protein /v1/predict calls by >= 10×. Both
+// sides run over a real HTTP server with a keep-alive client, so the
+// comparison includes everything a real consumer pays — connection
+// handling, request parsing, handler dispatch, response encoding — not
+// just scoring. The looped side pays that per protein; the bulk side pays
+// it once and then streams rows out of the columnar engine.
+
+// benchClient is a keep-alive client generous enough to never recycle
+// connections mid-benchmark.
+func benchClient() *http.Client {
+	tr := &http.Transport{MaxIdleConns: 16, MaxIdleConnsPerHost: 16}
+	return &http.Client{Transport: tr}
+}
+
+func benchDo(b *testing.B, c *http.Client, req *http.Request) int {
+	b.Helper()
+	resp, err := c.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return int(n)
+}
+
+// BenchmarkQueryBulkScore scores every protein's top-5 functions with one
+// bulk plan per iteration.
+func BenchmarkQueryBulkScore(b *testing.B) {
+	art := mipsArt()
+	ts := newTestServer(b, art, Config{})
+	client := benchClient()
+	plan := `{"topk":5}`
+	n := art.Graph.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(plan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		benchDo(b, client, req)
+	}
+	b.StopTimer()
+	perProtein := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+	b.ReportMetric(perProtein, "ns/protein")
+}
+
+// BenchmarkLoopedPredict is the baseline the bulk plan replaces: the same
+// top-5 scoring of every protein, issued as one /v1/predict round trip per
+// protein.
+func BenchmarkLoopedPredict(b *testing.B) {
+	art := mipsArt()
+	ts := newTestServer(b, art, Config{})
+	client := benchClient()
+	n := art.Graph.N()
+	urls := make([]string, n)
+	for p := 0; p < n; p++ {
+		urls[p] = fmt.Sprintf("%s/v1/predict?protein=%s&k=5", ts.URL, art.Graph.Name(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < n; p++ {
+			req, err := http.NewRequest(http.MethodGet, urls[p], nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchDo(b, client, req)
+		}
+	}
+	b.StopTimer()
+	perProtein := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+	b.ReportMetric(perProtein, "ns/protein")
+}
+
+// TestBulkQueryBeatsLoopedPredict is the acceptance gate in test form:
+// measured outside -bench runs too, so CI enforces the 10× bound on every
+// push, not only when someone remembers to benchmark. One warm-up pass
+// then one timed pass per side keeps it cheap enough for the test suite.
+func TestBulkQueryBeatsLoopedPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive comparison")
+	}
+	art := mipsArt()
+	ts := newTestServer(t, art, Config{})
+	client := benchClient()
+	n := art.Graph.N()
+
+	doPost := func() {
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"topk":5}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bulk status %d", resp.StatusCode)
+		}
+	}
+	doLoop := func(limit int) {
+		for p := 0; p < limit; p++ {
+			resp, err := client.Get(fmt.Sprintf("%s/v1/predict?protein=%s&k=5", ts.URL, art.Graph.Name(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			if err := resp.Body.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("predict status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	doPost()   // warm up connections and pools
+	doLoop(64) // warm up the predict path too
+	bulk := timeIt(doPost)
+	loop := timeIt(func() { doLoop(n) })
+	speedup := float64(loop) / float64(bulk)
+	t.Logf("bulk %v, looped %v, speedup %.1fx over %d proteins", bulk, loop, speedup, n)
+	if speedup < 10 {
+		t.Fatalf("bulk query is only %.1fx faster than looped predict, acceptance floor is 10x (bulk %v, looped %v)",
+			speedup, bulk, loop)
+	}
+}

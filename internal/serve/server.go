@@ -9,6 +9,8 @@
 //	GET  /v1/healthz — liveness plus readiness, artifact identity, model counts
 //	GET  /v1/predict?protein=NAME&k=N — rank functions for one or more proteins
 //	POST /v1/predict {"proteins": ["A", ...], "k": N} — batch form
+//	POST /v1/query   — execute one bulk query plan (internal/query) against
+//	                   the request's model snapshot, streaming the result
 //	GET  /v1/motifs  — the labeled motifs backing the model
 //	GET  /v1/metrics — request/latency/cache counters (JSON)
 //	GET  /metrics    — the same state in Prometheus text format, plus Go
@@ -47,6 +49,7 @@ import (
 	"lamofinder/internal/obs"
 	"lamofinder/internal/par"
 	"lamofinder/internal/predict"
+	"lamofinder/internal/query"
 )
 
 // Config tunes the daemon. The zero value of any field falls back to the
@@ -114,13 +117,16 @@ type model struct {
 	art    *artifact.Artifact
 	scorer *predict.LabeledMotif
 	index  *artifact.ScoreIndex // nil for v1 artifacts: score on demand
+	view   *query.View          // columnar binding for /v1/query bulk plans
 	byName map[string]int
 	digest string
 }
 
 // newModel derives the request-time bundle from a loaded artifact. The
 // artifact is shared read-only across request goroutines and must not be
-// mutated afterwards.
+// mutated afterwards. The columnar query view is built here, once per
+// load, beside the row-major index — so a reload flips the predict path
+// and the bulk-query path in the same atomic pointer swap.
 func newModel(art *artifact.Artifact) (*model, error) {
 	digest, err := art.Digest()
 	if err != nil {
@@ -131,10 +137,15 @@ func newModel(art *artifact.Artifact) (*model, error) {
 		// Reverse order so the lowest index wins a (pathological) name clash.
 		byName[art.Graph.Name(v)] = v
 	}
+	view, err := query.NewView(art, 0)
+	if err != nil {
+		return nil, fmt.Errorf("serve: build query view: %w", err)
+	}
 	return &model{
 		art:    art,
 		scorer: art.NewScorer(),
 		index:  art.Index,
+		view:   view,
 		byName: byName,
 		digest: digest,
 	}, nil
@@ -258,6 +269,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/motifs", s.handleMotifs)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics", s.handleProm)
@@ -474,7 +486,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if ks := parsePredictQuery(r.URL.RawQuery, sc); ks != "" {
 			v, err := strconv.Atoi(ks)
 			if err != nil {
-				s.writeError(w, http.StatusBadRequest, "k must be an integer, got %q", ks)
+				s.writeFieldError(w, http.StatusBadRequest, query.Errorf("k", "must be an integer, got %q", ks))
 				return
 			}
 			k = v
@@ -491,16 +503,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
-	if len(sc.proteins) == 0 {
-		s.writeError(w, http.StatusBadRequest, "no proteins named (use ?protein=NAME or a JSON body)")
+	// Bounds checks run through the shared plan-validation path in
+	// internal/query: /v1/predict's k and batch cap reject exactly the
+	// inputs a plan's topk would, with the same structured (field, reason)
+	// body, instead of this handler's former ad-hoc prose.
+	if fe := query.ValidateBatch(len(sc.proteins), s.cfg.MaxBatch); fe != nil {
+		s.writeFieldError(w, http.StatusBadRequest, fe)
 		return
 	}
-	if len(sc.proteins) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusBadRequest, "%d proteins exceeds the batch cap of %d", len(sc.proteins), s.cfg.MaxBatch)
-		return
-	}
-	if k < 0 {
-		s.writeError(w, http.StatusBadRequest, "k must be non-negative, got %d", k)
+	if fe := query.ValidateTopK(k); fe != nil {
+		s.writeFieldError(w, http.StatusBadRequest, fe)
 		return
 	}
 	if k == 0 || k > m.art.NumFunctions {
@@ -509,7 +521,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, name := range sc.proteins {
 		p, ok := m.resolve(name)
 		if !ok {
-			s.writeError(w, http.StatusNotFound, "unknown protein %q", name)
+			s.writeFieldError(w, http.StatusNotFound, query.Errorf("protein", "unknown protein %q", name))
 			return
 		}
 		sc.ids = append(sc.ids, p)
@@ -541,6 +553,56 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.met.predictions.Add(int64(len(sc.ids)))
 	sc.buf = appendPredictResponse(sc.buf, m.digest, k, sc.proteins, sc.rankings, m.art.FunctionNames)
 	s.writeRaw(w, http.StatusOK, sc.buf)
+}
+
+// handleQuery executes one bulk query plan (POST /v1/query). The plan
+// binds against the columnar view of the model snapshot pinned by this
+// request's single pointer load — a concurrent reload never splits a plan
+// across two models — and the result streams straight from the engine's
+// per-batch buffers, so a full-interactome scan never materializes twice.
+// Validation failures return the same structured (field, reason) body as
+// /v1/predict's bounds checks; both run the one shared path in
+// internal/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	m := s.mdl.Load()
+	var plan query.Plan
+	if err := json.NewDecoder(r.Body).Decode(&plan); err != nil {
+		s.writeFieldError(w, http.StatusBadRequest, query.Errorf("body", "bad plan JSON: %v", err))
+		return
+	}
+	start := time.Now()
+	res, fe := query.Execute(m.view, &plan, s.cfg.Parallelism)
+	if fe != nil {
+		s.writeFieldError(w, http.StatusBadRequest, fe)
+		return
+	}
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h["Content-Type"] = contentTypeJSON
+	}
+	w.WriteHeader(http.StatusOK)
+	// The client is gone if the stream fails; there is nowhere to report.
+	_, _ = res.WriteTo(w)
+	s.met.queries.Add(1)
+	s.met.queryRows.Add(int64(res.RowCount()))
+	s.met.planLat[planKindIndex(res.Kind)].Record(time.Since(start))
+}
+
+// fieldErrorResponse is the structured validation-error body: a flat
+// human-readable message plus the machine-readable (field, reason) pair
+// from the shared validation path.
+type fieldErrorResponse struct {
+	Error  string `json:"error"`
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+func (s *Server) writeFieldError(w http.ResponseWriter, status int, fe *query.FieldError) {
+	s.writeJSON(w, status, fieldErrorResponse{Error: fe.Error(), Field: fe.Field, Reason: fe.Reason})
 }
 
 // resolve maps a protein name (or a bare vertex index) to its vertex id.

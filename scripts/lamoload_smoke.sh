@@ -64,6 +64,15 @@ grep -q '"name": "LoadPredict/throughput"' "$workdir/load.json"
 grep -q '"name": "LoadPredict/daemon_p50"' "$workdir/load.json"
 grep -q '"name": "LoadPredict/daemon_p99"' "$workdir/load.json"
 
+echo "== bulk-query load (fixed seed)"
+"$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
+    -workload query -n 100 -c 4 -batch 2 -k 5 -seed 1 -out "$workdir/query.json"
+grep -q '"name": "LoadQuery/query_p50"' "$workdir/query.json"
+grep -q '"name": "LoadQuery/query_p99"' "$workdir/query.json"
+# rows/sec rides as its reciprocal, ns per streamed row.
+grep -q '"name": "LoadQuery/query_ns_per_row"' "$workdir/query.json"
+grep -q '"name": "LoadQuery/daemon_p50"' "$workdir/query.json"
+
 echo "== open-loop load (fixed seed)"
 "$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
     -n 100 -rate 500 -k 5 -seed 2 -name OpenLoop -out "$workdir/open.json"
@@ -81,6 +90,12 @@ if [[ -n "${LAMOLOAD_MERGE_INTO:-}" ]]; then
     echo "== merge latency results into $LAMOLOAD_MERGE_INTO"
     "$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
         -n 500 -c 4 -batch 2 -k 5 -seed 1 -merge-into "$LAMOLOAD_MERGE_INTO"
+    # The bulk-query percentiles and rows/sec land in the same trajectory
+    # snapshot, so query throughput is baseline-diffable like everything
+    # else in BENCH_*.json.
+    "$workdir/lamoload" -artifact "$workdir/model.lamoart" -server "http://$addr" \
+        -workload query -n 200 -c 4 -batch 2 -k 5 -seed 1 \
+        -merge-into "$LAMOLOAD_MERGE_INTO"
 fi
 
 echo "== graceful shutdown"
