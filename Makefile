@@ -21,7 +21,7 @@ RACEPKGS = ./internal/par/... ./internal/label/... ./internal/cluster/... \
 	./internal/serve/... ./internal/fleet/... ./internal/artifact/... \
 	./internal/obs/... ./internal/analysis/... ./internal/query/...
 
-.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke fleet-smoke query-smoke ci
+.PHONY: all build vet govet lamovet vet-json lint test race alloc alloc-build bench-smoke bench-json serve-smoke load-smoke fleet-smoke query-smoke trace-smoke ci
 
 # The dated trajectory snapshot bench-json writes (and lamoload merges into).
 BENCHFILE ?= BENCH_$(shell date +%Y-%m-%d).json
@@ -113,4 +113,12 @@ fleet-smoke:
 query-smoke:
 	./scripts/query_smoke.sh
 
-ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke fleet-smoke query-smoke
+# trace-smoke exercises the span-tracing layer end to end: a traced
+# predict's parse/rank/encode tree via lamoctl trace (JSON + -table),
+# byte-deterministic query output alongside the -explain operator table,
+# a trace-ID exemplar on /metrics, and one merged gateway+replica trace
+# for a traced request through a 3-replica fleet.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+ci: build lint test race alloc alloc-build bench-smoke serve-smoke load-smoke fleet-smoke query-smoke trace-smoke

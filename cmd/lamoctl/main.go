@@ -6,7 +6,8 @@
 //	lamoctl predict -protein NAME [-protein NAME ...] [-k N] [-trace ID] [-server URL]
 //	lamoctl query   [-plan FILE] [-topk N] [-group-by category] [-min-degree N]
 //	                [-max-degree N] [-min-score X] [-annotated BOOL]
-//	                [-proteins A,B] [-project COLS] [-table] [-server URL]
+//	                [-proteins A,B] [-project COLS] [-table] [-explain] [-server URL]
+//	lamoctl trace   [ID] [-n N] [-table] [-server URL]
 //	lamoctl motifs  [-server URL]
 //	lamoctl health  [-server URL]
 //	lamoctl metrics [-ratios] [-server URL]
@@ -25,7 +26,11 @@
 // -trace attaches an X-Request-Id and verifies the daemon echoes it.
 // query posts a bulk plan — from -plan file.json or assembled from the
 // plan flags — to /v1/query and prints the streamed JSON verbatim, or an
-// aligned table with -table.
+// aligned table with -table, or the per-operator EXPLAIN ANALYZE stats
+// with -explain. trace reads the server's span-trace store: listing the
+// most recent sampled traces, or fetching one by ID — against a gateway
+// the fetch merges every replica's same-ID span tree, and -table renders
+// the whole cross-process tree as indented rows.
 // fleet and rollout talk to a lamod gateway: fleet prints the membership
 // table (per-replica state, digest, latency), rollout drives a rolling
 // artifact swap across every replica. inspect reads an artifact file
@@ -48,6 +53,7 @@ import (
 
 	"lamofinder/internal/artifact"
 	"lamofinder/internal/fleet"
+	"lamofinder/internal/obs"
 	"lamofinder/internal/query"
 	"lamofinder/internal/serve"
 )
@@ -58,7 +64,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		errln(stderr, "usage: lamoctl <predict|query|motifs|health|metrics|prom|fleet|rollout|inspect> [flags]")
+		errln(stderr, "usage: lamoctl <predict|query|trace|motifs|health|metrics|prom|fleet|rollout|inspect> [flags]")
 		return 2
 	}
 	switch args[0] {
@@ -66,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runPredict(args[1:], stdout, stderr)
 	case "query":
 		return runQuery(args[1:], stdout, stderr)
+	case "trace":
+		return runTrace(args[1:], stdout, stderr)
 	case "motifs":
 		return runGet(args[1:], "/v1/motifs", stdout, stderr)
 	case "health":
@@ -81,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "inspect":
 		return runInspect(args[1:], stdout, stderr)
 	default:
-		errf(stderr, "lamoctl: unknown subcommand %q (want predict, query, motifs, health, metrics, prom, fleet, rollout, or inspect)\n", args[0])
+		errf(stderr, "lamoctl: unknown subcommand %q (want predict, query, trace, motifs, health, metrics, prom, fleet, rollout, or inspect)\n", args[0])
 		return 2
 	}
 }
@@ -97,13 +105,14 @@ func client(timeout time.Duration) *http.Client {
 	return &http.Client{Timeout: timeout}
 }
 
-// fetch GETs url and writes the response body through verbatim. Non-2xx
-// responses (the daemon's JSON error bodies) go to stderr with exit 1.
-func fetch(c *http.Client, u string, stdout, stderr io.Writer) int {
+// getBody GETs u and returns the response body, or a non-zero exit code
+// after reporting transport/HTTP errors (including the daemon's JSON
+// error bodies) to stderr.
+func getBody(c *http.Client, u string, stderr io.Writer) ([]byte, int) {
 	resp, err := c.Get(u)
 	if err != nil {
 		errf(stderr, "lamoctl: %v\n", err)
-		return 1
+		return nil, 1
 	}
 	body, err := io.ReadAll(resp.Body)
 	if cerr := resp.Body.Close(); err == nil {
@@ -111,11 +120,20 @@ func fetch(c *http.Client, u string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		errf(stderr, "lamoctl: read response: %v\n", err)
-		return 1
+		return nil, 1
 	}
 	if resp.StatusCode != http.StatusOK {
 		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, body)
-		return 1
+		return nil, 1
+	}
+	return body, 0
+}
+
+// fetch GETs url and writes the response body through verbatim.
+func fetch(c *http.Client, u string, stdout, stderr io.Writer) int {
+	body, code := getBody(c, u, stderr)
+	if code != 0 {
+		return code
 	}
 	_, _ = stdout.Write(body)
 	return 0
@@ -431,12 +449,15 @@ func runPredict(args []string, stdout, stderr io.Writer) int {
 // runQuery posts a bulk prediction plan to /v1/query. The plan comes from
 // -plan file.json or is assembled from the plan flags; the daemon's JSON
 // response streams through verbatim (so output is byte-deterministic), or
-// -table renders the rows as aligned columns for human eyes.
+// -table renders the rows as aligned columns for human eyes, or -explain
+// asks the daemon for per-operator execution stats and prints those as a
+// table instead of the rows.
 func runQuery(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lamoctl query", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	sf := addServerFlags(fs)
 	table := fs.Bool("table", false, "render result rows as aligned columns instead of JSON")
+	explain := fs.Bool("explain", false, "request per-operator execution stats and print the operator table")
 	pf := query.AddPlanFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -445,10 +466,17 @@ func runQuery(args []string, stdout, stderr io.Writer) int {
 		errf(stderr, "lamoctl query: unexpected arguments %q\n", fs.Args())
 		return 2
 	}
+	if *explain && *table {
+		errln(stderr, "lamoctl query: -explain and -table are mutually exclusive: -table prints the result rows, -explain prints the operator stats — pick one")
+		return 2
+	}
 	plan, err := pf.Plan()
 	if err != nil {
 		errf(stderr, "lamoctl query: %v\n", err)
 		return 2
+	}
+	if *explain {
+		plan.Explain = true
 	}
 	body, err := json.Marshal(plan)
 	if err != nil {
@@ -472,11 +500,203 @@ func runQuery(args []string, stdout, stderr io.Writer) int {
 		errf(stderr, "lamoctl: server returned %s: %s", resp.Status, out)
 		return 1
 	}
+	if *explain {
+		return writeExplainTable(out, stdout, stderr)
+	}
 	if !*table {
 		_, _ = stdout.Write(out)
 		return 0
 	}
 	return writeQueryTable(out, stdout, stderr)
+}
+
+// writeExplainTable renders the explain tail of a /v1/query response as
+// an aligned operator table. Row counts are deterministic (plan + model
+// decide them); busy_us is CPU occupancy summed across batch workers, so
+// under parallel execution the column can legitimately sum past wall_us.
+func writeExplainTable(body []byte, stdout, stderr io.Writer) int {
+	var res struct {
+		Artifact string       `json:"artifact"`
+		RowCount int          `json:"row_count"`
+		Explain  *query.Stats `json:"explain"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		errf(stderr, "lamoctl query: decode response: %v\n", err)
+		return 1
+	}
+	if res.Explain == nil {
+		errln(stderr, "lamoctl query: response carries no explain stats (is the daemon older than the plan's \"explain\" field?)")
+		return 1
+	}
+	_, _ = fmt.Fprintf(stdout, "artifact=%s rows=%d wall_us=%d\n",
+		res.Artifact, res.RowCount, res.Explain.WallUS)
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "OP\tROWS_IN\tROWS_OUT\tBUSY_US")
+	for _, o := range res.Explain.Ops {
+		_, _ = fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", o.Op, o.RowsIn, o.RowsOut, o.BusyUS)
+	}
+	if err := tw.Flush(); err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runTrace reads a server's span-trace store. With no argument it lists
+// the most recent sampled traces (GET /v1/traces); with a trace ID it
+// fetches that trace (GET /v1/traces/{id}) — against a gateway the fetch
+// also carries every replica-side span tree recorded under the same ID.
+// -table renders either response as aligned rows; for a single trace that
+// is the indented span tree, with replica trees spliced in under the
+// gateway attempt span that caused them.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lamoctl trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sf := addServerFlags(fs)
+	n := fs.Int("n", 0, "max traces to list (0 = server default)")
+	table := fs.Bool("table", false, "render the trace(s) as aligned rows instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Accept the trace ID before or after the flags (flag parsing stops at
+	// the first positional): lift the ID and re-parse what follows it.
+	id := ""
+	if fs.NArg() > 0 {
+		id = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() > 0 {
+			errf(stderr, "lamoctl trace: want at most one trace ID, got also %q\n", fs.Args())
+			return 2
+		}
+	}
+	c := client(*sf.timeout)
+	if id == "" {
+		u := *sf.server + "/v1/traces"
+		if *n > 0 {
+			u += "?n=" + fmt.Sprint(*n)
+		}
+		if !*table {
+			return fetch(c, u, stdout, stderr)
+		}
+		body, code := getBody(c, u, stderr)
+		if code != 0 {
+			return code
+		}
+		return writeTraceListTable(body, stdout, stderr)
+	}
+	u := *sf.server + "/v1/traces/" + url.PathEscape(id)
+	if !*table {
+		return fetch(c, u, stdout, stderr)
+	}
+	body, code := getBody(c, u, stderr)
+	if code != 0 {
+		return code
+	}
+	return writeTraceTable(body, stdout, stderr)
+}
+
+// writeTraceListTable renders GET /v1/traces (newest first) as columns.
+func writeTraceListTable(body []byte, stdout, stderr io.Writer) int {
+	var list struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		errf(stderr, "lamoctl trace: decode listing: %v\n", err)
+		return 1
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "TRACE\tROOT\tSPANS\tDROPPED\tDUR_US")
+	for _, s := range list.Traces {
+		_, _ = fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\n", s.Trace, s.Root, s.Spans, s.Dropped, s.DurUS)
+	}
+	if err := tw.Flush(); err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// replicaSide is the gateway merge's per-replica entry; absent (empty)
+// in a daemon's response, which lets one decode shape cover both.
+type replicaSide struct {
+	Replica      string        `json:"replica"`
+	RemoteParent int32         `json:"remote_parent"`
+	Spans        []obs.SpanOut `json:"spans"`
+}
+
+// writeTraceTable renders one fetched trace as an indented span tree. It
+// accepts both the daemon shape (remote_parent + spans) and the gateway
+// shape (spans + replicas): each replica's tree is spliced in directly
+// under the gateway span its remote_parent names, so a hedged request
+// reads top-to-bottom as routing decision, attempts, and the winning
+// replica's handler/operator spans in their causal place.
+func writeTraceTable(body []byte, stdout, stderr io.Writer) int {
+	var tr struct {
+		Trace        string        `json:"trace"`
+		RemoteParent *int32        `json:"remote_parent"`
+		Dropped      int32         `json:"dropped_spans"`
+		Spans        []obs.SpanOut `json:"spans"`
+		Replicas     []replicaSide `json:"replicas"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		errf(stderr, "lamoctl trace: decode trace: %v\n", err)
+		return 1
+	}
+	_, _ = fmt.Fprintf(stdout, "trace=%s spans=%d", tr.Trace, len(tr.Spans))
+	if tr.RemoteParent != nil && *tr.RemoteParent >= 0 {
+		_, _ = fmt.Fprintf(stdout, " remote_parent=%d", *tr.RemoteParent)
+	}
+	if tr.Dropped > 0 {
+		_, _ = fmt.Fprintf(stdout, " dropped=%d", tr.Dropped)
+	}
+	_, _ = fmt.Fprintln(stdout)
+	byParent := make(map[int32][]int)
+	for i := range tr.Replicas {
+		rp := tr.Replicas[i].RemoteParent
+		byParent[rp] = append(byParent[rp], i)
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	_, _ = fmt.Fprintln(tw, "SPAN\tSTART_US\tDUR_US\tROWS\tDETAIL")
+	writeSpanRows(tw, tr.Spans, 0, func(id int32, depth int) {
+		for _, i := range byParent[id] {
+			rep := tr.Replicas[i]
+			_, _ = fmt.Fprintf(tw, "%sreplica %s\t\t\t\t\n", indent(depth+1), rep.Replica)
+			writeSpanRows(tw, rep.Spans, depth+2, nil)
+		}
+	})
+	if err := tw.Flush(); err != nil {
+		errf(stderr, "lamoctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func indent(depth int) string { return strings.Repeat("  ", depth) }
+
+// writeSpanRows prints spans as indented rows. Spans arrive in creation
+// order, so every parent precedes its children and one forward pass
+// resolves depths. after, when non-nil, runs once per span so the caller
+// can splice nested replica trees in causal position.
+func writeSpanRows(tw *tabwriter.Writer, spans []obs.SpanOut, base int, after func(id int32, depth int)) {
+	depth := make(map[int32]int, len(spans))
+	for _, sp := range spans {
+		d := base
+		if pd, ok := depth[sp.Parent]; ok {
+			d = pd + 1
+		}
+		depth[sp.ID] = d
+		rows := ""
+		if sp.RowsIn != 0 || sp.RowsOut != 0 {
+			rows = fmt.Sprintf("%d/%d", sp.RowsIn, sp.RowsOut)
+		}
+		_, _ = fmt.Fprintf(tw, "%s%s\t%d\t%d\t%s\t%s\n",
+			indent(d), sp.Name, sp.StartUS, sp.DurUS, rows, sp.Detail)
+		if after != nil {
+			after(sp.ID, d)
+		}
+	}
 }
 
 // writeQueryTable renders a /v1/query response as aligned columns. Cells

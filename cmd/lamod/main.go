@@ -239,6 +239,9 @@ func runServe(args []string) int {
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logFormat := fs.String("log-format", "json", "structured log format: json or logfmt")
 	accessLogSize := fs.Int("access-log-size", 0, "access-log ring entries (0 = default); overflow drops, never blocks")
+	traceSample := fs.Int("trace-sample", 0, "span-trace head sampling: 1 in N requests (0 = default 16, negative = forced-only)")
+	traceStore := fs.Int("trace-store", 0, "finished-trace ring entries served by /v1/traces (0 = default 256)")
+	exemplars := fs.Bool("exemplars", false, "annotate /metrics latency histograms with OpenMetrics trace-ID exemplars")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -278,15 +281,18 @@ func runServe(args []string) int {
 		*reloadDir = filepath.Dir(*path)
 	}
 	s, err := serve.New(art, serve.Config{
-		Parallelism:    *parallelism,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		EnablePprof:    *enablePprof,
-		AllowReload:    *allowReload,
-		ReloadDir:      *reloadDir,
-		Logger:         logger,
-		AccessLogSize:  *accessLogSize,
-		Trace:          obs.NewTraceSource("lamod", 0),
+		Parallelism:      *parallelism,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *timeout,
+		EnablePprof:      *enablePprof,
+		AllowReload:      *allowReload,
+		ReloadDir:        *reloadDir,
+		Logger:           logger,
+		AccessLogSize:    *accessLogSize,
+		Trace:            obs.NewTraceSource("lamod", 0),
+		TraceSampleEvery: *traceSample,
+		TraceStoreSize:   *traceStore,
+		PromExemplars:    *exemplars,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamod serve: %v\n", err)
@@ -319,6 +325,8 @@ func runGateway(args []string) int {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logFormat := fs.String("log-format", "json", "structured log format: json or logfmt")
+	traceSample := fs.Int("trace-sample", 0, "span-trace head sampling: 1 in N requests (0 = default 16, negative = forced-only)")
+	traceStore := fs.Int("trace-store", 0, "finished-trace ring entries served by /v1/traces (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -352,13 +360,15 @@ func runGateway(args []string) int {
 		logger = obs.NewLogger(os.Stderr, level, format)
 	}
 	rt, err := fleet.New(fleet.Config{
-		Replicas:      members,
-		VNodes:        *vnodes,
-		ProbeInterval: *probeInterval,
-		FailThreshold: *failThreshold,
-		MaxAttempts:   *attempts,
-		HedgeMax:      *hedgeMax,
-		Logger:        logger,
+		Replicas:         members,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		FailThreshold:    *failThreshold,
+		MaxAttempts:      *attempts,
+		HedgeMax:         *hedgeMax,
+		Logger:           logger,
+		TraceSampleEvery: *traceSample,
+		TraceStoreSize:   *traceStore,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamod gateway: %v\n", err)

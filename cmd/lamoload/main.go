@@ -91,6 +91,7 @@ func run(args []string, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	out := fs.String("out", "-", `snapshot output path ("-" = stdout)`)
 	mergeInto := fs.String("merge-into", "", "append results to this existing BENCH_*.json instead of writing -out")
+	traceSample := fs.Int("trace-sample", 0, "attach X-Trace-Sample: 1 to one request in N, opting it into server-side span tracing (0 = none)")
 	name := fs.String("name", "", "result name prefix in the snapshot (default LoadPredict, or LoadQuery with -workload query)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,8 +105,8 @@ func run(args []string, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if *n <= 0 || *c <= 0 || *batch <= 0 || *rate < 0 {
-		errln(stderr, "lamoload: -n, -c, and -batch must be positive; -rate non-negative")
+	if *n <= 0 || *c <= 0 || *batch <= 0 || *rate < 0 || *traceSample < 0 {
+		errln(stderr, "lamoload: -n, -c, and -batch must be positive; -rate and -trace-sample non-negative")
 		return 2
 	}
 	if *workload != "predict" && *workload != "query" {
@@ -155,6 +156,13 @@ func run(args []string, stderr io.Writer) int {
 		reqs = queryStream(*server, names, *n, *batch, *k, *seed)
 	} else {
 		reqs = predictStream(*server, names, *n, *batch, *k, *seed)
+	}
+	if *traceSample > 0 {
+		// Deterministic head marking: the same tuple plus -trace-sample
+		// names the same traced subset, like everything else in the stream.
+		for i := 0; i < len(reqs); i += *traceSample {
+			reqs[i].sample = true
+		}
 	}
 	mode := "closed-loop"
 	if *rate > 0 {
@@ -325,10 +333,13 @@ func daemonResults(client *http.Client, server, prefix, route string) ([]benchfm
 }
 
 // request is one precomputed unit of load: a GET when body is empty, a
-// POST of body otherwise.
+// POST of body otherwise. sample opts the request into server-side span
+// tracing via X-Trace-Sample, so a load run can deliberately seed the
+// daemon's trace store without minting per-request IDs.
 type request struct {
-	url  string
-	body string
+	url    string
+	body   string
+	sample bool
 }
 
 // predictStream precomputes the n /v1/predict URLs. Everything that
@@ -415,13 +426,23 @@ func parseRowCount(prefix []byte) int64 {
 // response.
 func doRequest(client *http.Client, rq request) (time.Duration, int64, error) {
 	start := time.Now()
-	var resp *http.Response
+	var req *http.Request
 	var err error
 	if rq.body == "" {
-		resp, err = client.Get(rq.url)
+		req, err = http.NewRequest(http.MethodGet, rq.url, nil)
 	} else {
-		resp, err = client.Post(rq.url, "application/json", strings.NewReader(rq.body))
+		req, err = http.NewRequest(http.MethodPost, rq.url, strings.NewReader(rq.body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
 	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if rq.sample {
+		req.Header.Set("X-Trace-Sample", "1")
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -9,7 +9,11 @@ import (
 // part of the serving/observability machinery. A goroutine here that
 // nobody can join outlives shutdown: it keeps writing to rings and
 // counters while the process reports a clean drain, which is exactly the
-// class of bug the SIGTERM-drain smoke test cannot reliably catch.
+// class of bug the SIGTERM-drain smoke test cannot reliably catch. The
+// obs entry covers both bounded-ring drain loops — the access log's and
+// the trace summary's (Tracer.Close must join the goroutine that turns
+// finished-trace summaries into log lines, or a "clean" shutdown races
+// its final writes).
 var goroLeakScope = []string{
 	"internal/par",
 	"internal/serve",

@@ -104,8 +104,22 @@ type Config struct {
 	DrainTimeout  time.Duration
 	RolloutWait   time.Duration
 	RolloutSettle time.Duration
-	// Logger, when set, records membership transitions and rollout steps.
+	// Logger, when set, records membership transitions, rollout steps, and
+	// one line per routed upstream attempt (replica, trace ID, status).
 	Logger *obs.Logger
+	// Trace generates gateway request IDs for requests without a valid
+	// client X-Request-Id (nil = a fresh "gw"-prefixed source). The gateway
+	// mints the ID once per request, so every retry and hedge attempt — and
+	// the replica-side trace each one records — shares it.
+	Trace *obs.TraceSource
+	// TraceSampleEvery selects span-trace head sampling at the gateway:
+	// every Nth predict request records a routing span tree (0 = the obs
+	// default, 1 in 16; negative = forced-only). Probe rounds run through
+	// the same sampler; rollouts always trace.
+	TraceSampleEvery int
+	// TraceStoreSize bounds the ring of finished gateway traces served by
+	// GET /v1/traces (0 = the obs default, 256).
+	TraceStoreSize int
 }
 
 func (c *Config) fill() error {
@@ -175,6 +189,8 @@ type Router struct {
 	members []*member // index-aligned with ring member indices
 	client  *http.Client
 	met     fleetMetrics
+	trace   *obs.TraceSource
+	tracer  *obs.Tracer
 
 	// hedgeNanos caches the hedge delay derived from the merged upstream
 	// p99 after each probe round, so the hot path reads one atomic.
@@ -225,6 +241,11 @@ func New(cfg Config) (*Router, error) {
 		probeQuit: make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	rt.trace = cfg.Trace
+	if rt.trace == nil {
+		rt.trace = obs.NewTraceSource("gw", 0)
+	}
+	rt.tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceStoreSize, cfg.Logger)
 	rt.hedgeNanos.Store(int64(cfg.HedgeMax))
 	return rt, nil
 }
@@ -240,12 +261,14 @@ func (rt *Router) StartProbes() {
 	})
 }
 
-// Close stops the prober and waits for it to exit. Idempotent; safe even
-// if StartProbes was never called.
+// Close stops the prober and waits for it to exit, then stops the trace
+// summary drain (the prober publishes probe-round traces, so the tracer
+// must outlive it). Idempotent; safe even if StartProbes was never called.
 func (rt *Router) Close() {
 	rt.probeStop.Do(func() { close(rt.probeQuit) })
 	rt.probeStart.Do(func() { close(rt.probeDone) }) // never started: unblock the wait
 	<-rt.probeDone
+	rt.tracer.Close()
 }
 
 func (rt *Router) probeLoop() {
@@ -271,16 +294,27 @@ type probeHealth struct {
 }
 
 // probeAll probes every due member once and refreshes the cached hedge
-// delay from the merged upstream latency.
+// delay from the merged upstream latency. Probe rounds flow through the
+// head sampler like requests do: a sampled round records one trace with a
+// child span per probed replica, so slow health checks show up in the
+// trace store with the replica that caused them.
 func (rt *Router) probeAll() {
 	now := time.Now()
+	var tr *obs.Trace
+	if rt.tracer.Sample(false) {
+		tr = rt.tracer.Start(rt.trace.Next(), obs.NoSpan, "probe-round")
+	}
 	for _, m := range rt.members {
 		if !m.probeDue(now) {
 			continue
 		}
+		si := tr.StartSpan(tr.Root(), "probe")
+		tr.SetDetail(si, m.addr)
 		rt.probeOne(m, now)
+		tr.EndSpan(si)
 	}
 	rt.refreshHedge()
+	rt.tracer.Finish(tr)
 }
 
 func (rt *Router) probeOne(m *member, now time.Time) {

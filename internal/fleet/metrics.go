@@ -19,12 +19,13 @@ const (
 	fleetRouteFleet
 	fleetRouteMetrics
 	fleetRouteRollout
+	fleetRouteTraces
 	fleetRouteOther
 	numFleetRoutes
 )
 
 var fleetRouteNames = [numFleetRoutes]string{
-	"predict", "motifs", "healthz", "fleet", "metrics", "rollout", "other",
+	"predict", "motifs", "healthz", "fleet", "metrics", "rollout", "traces", "other",
 }
 
 func fleetRouteOf(path string) int {
@@ -41,6 +42,11 @@ func fleetRouteOf(path string) int {
 		return fleetRouteMetrics
 	case "/v1/admin/rollout":
 		return fleetRouteRollout
+	case "/v1/traces":
+		return fleetRouteTraces
+	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		return fleetRouteTraces
 	}
 	return fleetRouteOther
 }

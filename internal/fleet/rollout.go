@@ -52,13 +52,20 @@ func (rt *Router) Rollout(ctx context.Context, path, wantDigest string) (Rollout
 	}
 	defer rt.rollMu.Unlock()
 
+	// Rollouts are rare and load-bearing, so they always trace: one span
+	// per replica with drain/reload/verify children, queryable afterwards
+	// at GET /v1/traces/{id} to answer "where did the rollout spend time".
+	tr := rt.tracer.Start(rt.trace.Next(), obs.NoSpan, "rollout")
+	defer rt.tracer.Finish(tr)
+	rt.cfg.Logger.Info("rollout trace", obs.String("trace", tr.ID()))
+
 	res := RolloutResult{Artifact: wantDigest}
 	for _, m := range rt.members {
 		if m.state.Load() == memberEjected {
 			rt.cfg.Logger.Warn("rollout skip ejected replica", obs.String("replica", m.addr))
 			continue
 		}
-		step, err := rt.rolloutOne(ctx, m, path, res.Artifact)
+		step, err := rt.rolloutOne(ctx, m, path, res.Artifact, tr)
 		if err != nil {
 			return res, fmt.Errorf("fleet: rollout at %s (after %d ok): %w", m.addr, len(res.Steps), err)
 		}
@@ -80,7 +87,10 @@ func (rt *Router) Rollout(ctx context.Context, path, wantDigest string) (Rollout
 	return res, nil
 }
 
-func (rt *Router) rolloutOne(ctx context.Context, m *member, path, wantDigest string) (RolloutStep, error) {
+func (rt *Router) rolloutOne(ctx context.Context, m *member, path, wantDigest string, tr *obs.Trace) (RolloutStep, error) {
+	repSpan := tr.StartSpan(tr.Root(), "replica")
+	tr.SetDetail(repSpan, m.addr)
+	defer tr.EndSpan(repSpan)
 	// Drain: pin so the prober can't readmit, unroute, wait for in-flight
 	// requests to finish. New requests for this member's keys fail over to
 	// the next replica in ring order, so clients never notice.
@@ -88,6 +98,7 @@ func (rt *Router) rolloutOne(ctx context.Context, m *member, path, wantDigest st
 	m.state.Store(memberDraining)
 	defer m.pinned.Store(false)
 	rt.cfg.Logger.Info("rollout drain", obs.String("replica", m.addr))
+	drainSpan := tr.StartSpan(repSpan, "drain")
 	if err := rt.waitInflight(ctx, m); err != nil {
 		m.state.CompareAndSwap(memberDraining, memberReady)
 		return RolloutStep{}, err
@@ -96,7 +107,9 @@ func (rt *Router) rolloutOne(ctx context.Context, m *member, path, wantDigest st
 		m.state.CompareAndSwap(memberDraining, memberReady)
 		return RolloutStep{}, err
 	}
+	tr.EndSpan(drainSpan)
 
+	reloadSpan := tr.StartSpan(repSpan, "reload")
 	prev, err := rt.postReload(ctx, m, path, wantDigest)
 	if err != nil {
 		// The replica kept its old model (reload is atomic on its side);
@@ -104,11 +117,14 @@ func (rt *Router) rolloutOne(ctx context.Context, m *member, path, wantDigest st
 		m.state.CompareAndSwap(memberDraining, memberReady)
 		return RolloutStep{}, err
 	}
+	tr.EndSpan(reloadSpan)
 
+	verifySpan := tr.StartSpan(repSpan, "verify")
 	got, err := rt.waitReady(ctx, m, wantDigest)
 	if err != nil {
 		return RolloutStep{}, err
 	}
+	tr.EndSpan(verifySpan)
 	m.setDigest(got)
 	m.state.Store(memberReady)
 	rt.cfg.Logger.Info("rollout swapped", obs.String("replica", m.addr), obs.String("artifact", got))

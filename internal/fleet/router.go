@@ -28,6 +28,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", rt.handleMetrics)
 	mux.HandleFunc("/metrics", rt.handleProm)
 	mux.HandleFunc("/v1/admin/rollout", rt.handleRollout)
+	mux.HandleFunc("/v1/traces", rt.handleTraces)
+	mux.HandleFunc("/v1/traces/", rt.handleTraces)
 	return rt.instrument(mux)
 }
 
@@ -129,7 +131,14 @@ func (u *upstreamResult) retryable() bool {
 // response. Latency is recorded per member; transport failures count
 // toward the member's eject streak unless the router itself canceled the
 // attempt (a lost hedge race is not evidence the replica is sick).
-func (rt *Router) issue(ctx context.Context, m *member, method, uri string, body []byte, requestID string, hedged bool) *upstreamResult {
+//
+// requestID is the gateway's ID for this request — minted once in the
+// handler when the client supplied none, so every attempt (retry or
+// hedge) carries the same ID and the access logs on gateway and replicas
+// join on it. traceCtx, when non-empty, is the X-Trace-Context value
+// binding the replica-side trace to this attempt's span in the gateway
+// trace.
+func (rt *Router) issue(ctx context.Context, m *member, method, uri string, body []byte, requestID, traceCtx string, hedged bool) *upstreamResult {
 	res := &upstreamResult{member: m, hedged: hedged}
 	var rd io.Reader
 	if body != nil {
@@ -142,6 +151,9 @@ func (rt *Router) issue(ctx context.Context, m *member, method, uri string, body
 	}
 	if requestID != "" {
 		req.Header.Set("X-Request-Id", requestID)
+	}
+	if traceCtx != "" {
+		req.Header.Set(obs.HeaderTraceContext, traceCtx)
 	}
 	if method == http.MethodPost {
 		req.Header.Set("Content-Type", "application/json")
@@ -198,23 +210,86 @@ func (rt *Router) candidates(key string, scratch []int) []*member {
 	return out
 }
 
+// attemptState tracks one launched upstream attempt for span attribution:
+// the route loop owns the trace, so spans open here when the attempt
+// launches, close when its result arrives, and are marked canceled when
+// another attempt wins first.
+type attemptState struct {
+	m    *member
+	span int32
+	done bool
+}
+
 // route proxies one predict request: primary attempt on the key's owner,
 // a hedged duplicate on the next replica once the p99-derived delay
 // expires, then sequential retries over the remaining candidates. The
 // first non-retryable result wins; a lost hedge is canceled by the
 // request context when the handler returns.
-func (rt *Router) route(ctx context.Context, candidates []*member, method, uri string, body []byte, requestID string) *upstreamResult {
+//
+// With tr sampled, every attempt becomes a child span of the gateway
+// trace — "attempt" or "hedge", detail = replica address — and each
+// outbound request carries X-Trace-Context naming its own span, so the
+// replica's trace nests under the exact attempt that caused it. All span
+// mutation happens on this goroutine (the trace's single-writer
+// contract); the issue goroutines never touch tr.
+func (rt *Router) route(ctx context.Context, candidates []*member, method, uri string, body []byte, requestID string, tr *obs.Trace) *upstreamResult {
 	maxAttempts := rt.cfg.MaxAttempts
 	if maxAttempts > len(candidates) {
 		maxAttempts = len(candidates)
 	}
 	resc := make(chan *upstreamResult, maxAttempts+1) // buffered: losers never block
 	inFlight, next := 0, 0
+	var attempts []attemptState
 	launch := func(hedged bool) {
 		m := candidates[next]
 		next++
 		inFlight++
-		go func() { resc <- rt.issue(ctx, m, method, uri, body, requestID, hedged) }()
+		name := "attempt"
+		if hedged {
+			name = "hedge"
+		}
+		si := tr.StartSpan(tr.Root(), name)
+		tr.SetDetail(si, m.addr)
+		traceCtx := ""
+		if tr != nil && si != obs.NoSpan {
+			traceCtx = obs.FormatTraceContext(tr.ID(), si)
+		}
+		attempts = append(attempts, attemptState{m: m, span: si})
+		go func() { resc <- rt.issue(ctx, m, method, uri, body, requestID, traceCtx, hedged) }()
+	}
+	// settle closes the span of one returned attempt and logs the attempt
+	// line that joins the gateway access log to the replica's.
+	settle := func(res *upstreamResult) {
+		for i := range attempts {
+			a := &attempts[i]
+			if a.done || a.m != res.member {
+				continue
+			}
+			a.done = true
+			tr.EndSpan(a.span)
+			break
+		}
+		status := int64(res.status)
+		if res.err != nil {
+			status = -1
+		}
+		rt.cfg.Logger.Info("upstream attempt",
+			obs.String("trace", requestID),
+			obs.String("replica", res.member.addr),
+			obs.Int64("status", status))
+	}
+	// cancelLosers marks every still-open attempt span canceled at
+	// winner-decision time, so the trace shows when — and why — the race
+	// ended for the loser.
+	cancelLosers := func() {
+		for i := range attempts {
+			a := &attempts[i]
+			if a.done {
+				continue
+			}
+			tr.SetDetail(a.span, a.m.addr+" canceled: lost race")
+			tr.EndSpan(a.span)
+		}
 	}
 	launch(false)
 
@@ -230,10 +305,12 @@ func (rt *Router) route(ctx context.Context, candidates []*member, method, uri s
 		select {
 		case res := <-resc:
 			inFlight--
+			settle(res)
 			if !res.retryable() {
 				if res.hedged {
 					rt.met.hedgeWins.Add(1)
 				}
+				cancelLosers()
 				return res
 			}
 			lastFail = res
@@ -278,8 +355,13 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusServiceUnavailable, "no replicas configured")
 		return
 	}
-	res := rt.route(r.Context(), cands, r.Method, r.URL.RequestURI(), body, r.Header.Get("X-Request-Id"))
-	rt.relay(w, res)
+	id, tr := rt.startTrace(r, "predict")
+	res := rt.route(r.Context(), cands, r.Method, r.URL.RequestURI(), body, id, tr)
+	// Finish before relaying: the trace is queryable the moment the client
+	// has the response (the root span measures routing, not the client
+	// write, which is the half the gateway actually controls).
+	rt.tracer.Finish(tr)
+	rt.relay(w, res, id)
 }
 
 // handleMotifs proxies to the first available replica: the motif list is
@@ -296,13 +378,21 @@ func (rt *Router) handleMotifs(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusServiceUnavailable, "no replicas configured")
 		return
 	}
-	res := rt.route(r.Context(), cands, r.Method, r.URL.RequestURI(), nil, r.Header.Get("X-Request-Id"))
-	rt.relay(w, res)
+	id, tr := rt.startTrace(r, "motifs")
+	res := rt.route(r.Context(), cands, r.Method, r.URL.RequestURI(), nil, id, tr)
+	rt.tracer.Finish(tr)
+	rt.relay(w, res, id)
 }
 
 // relay writes a routed result to the client; an exhausted retry budget
-// becomes one 502 with the last upstream failure attached.
-func (rt *Router) relay(w http.ResponseWriter, res *upstreamResult) {
+// becomes one 502 with the last upstream failure attached. The echoed
+// X-Request-Id is the gateway's own ID — minted once per request, shared
+// by every attempt — never a replica's, so the client's ticket always
+// matches the gateway trace and every replica-side log line.
+func (rt *Router) relay(w http.ResponseWriter, res *upstreamResult, id string) {
+	if id != "" {
+		w.Header().Set("X-Request-Id", id)
+	}
 	if res == nil {
 		rt.writeError(w, http.StatusBadGateway, "no replica available")
 		return
@@ -318,9 +408,6 @@ func (rt *Router) relay(w http.ResponseWriter, res *upstreamResult) {
 	h := w.Header()
 	if res.contentType != "" {
 		h.Set("Content-Type", res.contentType)
-	}
-	if res.requestID != "" {
-		h.Set("X-Request-Id", res.requestID)
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)

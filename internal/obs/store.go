@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TraceStore is the bounded ring finished traces land in, queryable by the
+// /v1/traces handlers while requests keep publishing. Slots are claimed by
+// an atomic ticket and guarded by per-slot mutexes taken with TryLock on
+// the publish side: a writer that finds its slot held by a reader (or by a
+// writer that lapped the whole ring) drops that one sample instead of
+// blocking a request, so publishing is wait-free and allocation-free while
+// readers still get torn-copy-proof snapshots.
+type TraceStore struct {
+	slots []storeSlot
+	next  atomic.Uint64
+}
+
+type storeSlot struct {
+	mu   sync.Mutex
+	full bool
+	tr   Trace
+}
+
+// DefaultTraceStoreSize is the ring capacity when the configuration
+// leaves it zero. At MaxSpans fixed spans per slot this is a few MiB —
+// enough recent history to debug a live incident, small enough to forget.
+const DefaultTraceStoreSize = 256
+
+// NewTraceStore builds a ring of the given capacity (<=0 selects
+// DefaultTraceStoreSize).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceStoreSize
+	}
+	return &TraceStore{slots: make([]storeSlot, capacity)}
+}
+
+// put publishes one finished trace. Called by Tracer.Finish before the
+// Trace returns to the pool; the struct copy is the hand-off.
+//
+// alloc-budget: 0
+func (s *TraceStore) put(tr *Trace) {
+	if s == nil || tr == nil {
+		return
+	}
+	slot := &s.slots[(s.next.Add(1)-1)%uint64(len(s.slots))]
+	if !slot.mu.TryLock() {
+		// A reader (or a writer that lapped the ring) holds this slot;
+		// losing one sample beats blocking a request.
+		return
+	}
+	slot.tr = *tr
+	slot.full = true
+	slot.mu.Unlock()
+}
+
+// Cap returns the ring's capacity.
+func (s *TraceStore) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.slots)
+}
+
+// snapshot copies slot i out, returning ok only for a populated slot.
+func (s *TraceStore) snapshot(i int) (Trace, bool) {
+	slot := &s.slots[i]
+	slot.mu.Lock()
+	tr, ok := slot.tr, slot.full
+	slot.mu.Unlock()
+	return tr, ok
+}
+
+// Get returns the stored trace with the given ID, newest first when the
+// ring holds several under one ID (a gateway trace and nothing else —
+// replica traces live in the replica's own store).
+func (s *TraceStore) Get(id string) (TraceOut, bool) {
+	if s == nil || id == "" {
+		return TraceOut{}, false
+	}
+	n := len(s.slots)
+	next := int(s.next.Load() % uint64(n))
+	for k := 0; k < n; k++ {
+		i := ((next-1-k)%n + n) % n
+		tr, ok := s.snapshot(i)
+		if ok && tr.id == id {
+			return tr.out(), true
+		}
+	}
+	return TraceOut{}, false
+}
+
+// List returns summaries of the most recent traces, newest first, at most
+// max (<=0 selects everything in the ring).
+func (s *TraceStore) List(max int) []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	n := len(s.slots)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]TraceSummary, 0, max)
+	next := int(s.next.Load() % uint64(n))
+	for k := 0; k < n && len(out) < max; k++ {
+		i := ((next-1-k)%n + n) % n
+		tr, ok := s.snapshot(i)
+		if !ok {
+			continue
+		}
+		out = append(out, TraceSummary{
+			Trace:   tr.id,
+			Root:    tr.spans[0].name,
+			Spans:   tr.n,
+			Dropped: tr.dropped,
+			DurUS:   tr.spans[0].dur.Microseconds(),
+		})
+	}
+	return out
+}
+
+// SpanOut is the JSON shape of one span in a stored trace. Start is the
+// monotonic offset from the trace's root span, so a renderer can lay the
+// tree on one timeline without trusting wall clocks.
+type SpanOut struct {
+	ID      int32  `json:"id"`
+	Parent  int32  `json:"parent"`
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	RowsIn  int64  `json:"rows_in,omitempty"`
+	RowsOut int64  `json:"rows_out,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// TraceOut is the JSON shape of one stored trace. RemoteParent is the
+// parent span index inside the same-ID trace of the upstream process
+// (propagated via X-Trace-Context), or -1 when this process was the root.
+type TraceOut struct {
+	Trace        string    `json:"trace"`
+	RemoteParent int32     `json:"remote_parent"`
+	Dropped      int32     `json:"dropped_spans,omitempty"`
+	Spans        []SpanOut `json:"spans"`
+}
+
+// out converts a consistent Trace copy into its JSON shape.
+func (t *Trace) out() TraceOut {
+	o := TraceOut{
+		Trace:        t.id,
+		RemoteParent: t.remoteParent,
+		Dropped:      t.dropped,
+		Spans:        make([]SpanOut, t.n),
+	}
+	root := t.spans[0].start
+	for i := int32(0); i < t.n; i++ {
+		s := &t.spans[i]
+		o.Spans[i] = SpanOut{
+			ID:      i,
+			Parent:  s.parent,
+			Name:    s.name,
+			Detail:  s.detail,
+			RowsIn:  s.rowsIn,
+			RowsOut: s.rowsOut,
+			StartUS: s.start.Sub(root).Microseconds(),
+			DurUS:   s.dur.Microseconds(),
+		}
+	}
+	return o
+}

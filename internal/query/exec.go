@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"time"
 
 	"lamofinder/internal/jsonx"
 	"lamofinder/internal/par"
@@ -141,6 +142,9 @@ type Result struct {
 
 	rowCount int
 	chunks   [][]byte
+	// explain, when the plan asked for it, is appended after the rows
+	// array; nil otherwise, so default responses stay byte-identical.
+	explain *Stats
 }
 
 // RowCount returns the number of emitted rows.
@@ -183,9 +187,17 @@ func (r *Result) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	err := writeAll(w, []byte("]}\n"), &n)
+	tail := []byte{']'}
+	if r.explain != nil {
+		tail = r.explain.appendJSON(append(tail, `,"explain":`...))
+	}
+	tail = append(tail, '}', '\n')
+	err := writeAll(w, tail, &n)
 	return n, err
 }
+
+// Explain returns the execution stats when the plan requested them.
+func (r *Result) Explain() *Stats { return r.explain }
 
 // Bytes materializes the full response body (CLI and test consumers).
 func (r *Result) Bytes() []byte {
@@ -206,24 +218,11 @@ func writeAll(w io.Writer, b []byte, n *int64) error {
 // (rows from the per-protein rankings, or per-category bounded heaps in
 // group mode) → project (append-encode the chosen columns). Batches write
 // only their own index-addressed output slot, so the assembled bytes are
-// identical at any parallelism.
+// identical at any parallelism. ExecuteStats is the same pipeline with
+// opt-in per-operator statistics.
 func Execute(v *View, plan *Plan, parallelism int) (*Result, *FieldError) {
-	prog, fe := compile(v, plan)
-	if fe != nil {
-		return nil, fe
-	}
-	res := &Result{Artifact: v.digest, Kind: prog.kind, Columns: prog.cols}
-	workers := par.Workers(parallelism)
-	var counts []int
-	if prog.group {
-		counts = execGroup(v, prog, workers, res)
-	} else {
-		counts = execPerProtein(v, prog, workers, res)
-	}
-	for _, c := range counts {
-		res.rowCount += c
-	}
-	return res, nil
+	res, _, fe := ExecuteStats(v, plan, parallelism, false)
+	return res, fe
 }
 
 // filterBatch runs the compiled filter chain over one batch's selection
@@ -243,18 +242,37 @@ func filterBatch(v *View, prog *program, sel []int32) []int32 {
 
 // execPerProtein runs the per-protein modes (scan, topk): every batch
 // filters its protein range, then emits each survivor's ranking rows.
-// Returns per-chunk row counts.
-func execPerProtein(v *View, prog *program, workers int, res *Result) []int {
+// Returns per-chunk row counts. st, when non-nil, aggregates per-operator
+// stage timings; the fast path pays nil checks only.
+func execPerProtein(v *View, prog *program, workers int, res *Result, st *statCol) []int {
 	nc := par.NumChunks(v.n, BatchSize)
 	res.chunks = make([][]byte, nc)
 	counts := make([]int, nc)
 	par.Chunks(v.n, BatchSize, workers, func(c, lo, hi int) {
 		sc := scratchPool.Get().(*scratch)
-		sel := filterBatch(v, prog, selectRange(sc.sel[:0], int32(lo), int32(hi)))
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
+		scanned := selectRange(sc.sel[:0], int32(lo), int32(hi))
+		if st != nil {
+			t1 := time.Now()
+			st.add(opStageScan, int64(hi-lo), int64(len(scanned)), t1.Sub(t0))
+			t0 = t1
+		}
+		sel := filterBatch(v, prog, scanned)
+		if st != nil {
+			t1 := time.Now()
+			st.add(opStageFilter, int64(hi-lo), int64(len(sel)), t1.Sub(t0))
+			t0 = t1
+		}
 		var buf []byte
 		rows := 0
 		for _, p := range sel {
 			buf, rows = appendRankingRows(buf, v, prog, p, rows)
+		}
+		if st != nil {
+			st.add(opStageEmit, int64(len(sel)), int64(rows), time.Since(t0))
 		}
 		sc.sel = sel[:0]
 		scratchPool.Put(sc)
@@ -265,13 +283,27 @@ func execPerProtein(v *View, prog *program, workers int, res *Result) []int {
 
 // execGroup runs group_topk: one shared selection bitset built batch-wise
 // (each batch owns whole bitset words), then one bounded-heap scan per
-// category column.
-func execGroup(v *View, prog *program, workers int, res *Result) []int {
+// category column. st, when non-nil, aggregates per-operator stage
+// timings; the fast path pays nil checks only.
+func execGroup(v *View, prog *program, workers int, res *Result, st *statCol) []int {
 	live := make([]uint64, len(v.annotated))
 	par.Chunks(v.n, BatchSize, workers, func(c, lo, hi int) {
 		sc := scratchPool.Get().(*scratch)
-		sel := filterBatch(v, prog, selectRange(sc.sel[:0], int32(lo), int32(hi)))
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
+		scanned := selectRange(sc.sel[:0], int32(lo), int32(hi))
+		if st != nil {
+			t1 := time.Now()
+			st.add(opStageScan, int64(hi-lo), int64(len(scanned)), t1.Sub(t0))
+			t0 = t1
+		}
+		sel := filterBatch(v, prog, scanned)
 		markBits(live, sel)
+		if st != nil {
+			st.add(opStageFilter, int64(hi-lo), int64(len(sel)), time.Since(t0))
+		}
 		sc.sel = sel[:0]
 		scratchPool.Put(sc)
 	})
@@ -285,10 +317,22 @@ func execGroup(v *View, prog *program, workers int, res *Result) []int {
 		if k <= 0 || k > v.n {
 			k = v.n
 		}
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
 		top := topkColumn(sc.heap[:0], col, live, prog.score, k)
+		if st != nil {
+			t1 := time.Now()
+			st.add(opStageTopK, int64(v.n), int64(len(top)), t1.Sub(t0))
+			t0 = t1
+		}
 		var buf []byte
 		for _, e := range top {
 			buf = appendRow(buf, v, prog.proj, e.p, int32(f), e.s)
+		}
+		if st != nil {
+			st.add(opStageEmit, int64(len(top)), int64(len(top)), time.Since(t0))
 		}
 		sc.heap = top[:0]
 		scratchPool.Put(sc)

@@ -49,6 +49,11 @@ type Plan struct {
 	// [protein function score] per protein, [function protein score] per
 	// category.
 	Project []string `json:"project,omitempty"`
+	// Explain appends an EXPLAIN ANALYZE summary (per-operator rows and
+	// wall time) as an "explain" field after the rows array. The rows
+	// themselves are unchanged — byte-identical to the same plan without
+	// Explain — so a client can flip it on without re-validating output.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Predicate is one filter clause. Value fields are field-specific: degree

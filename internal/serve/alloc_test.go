@@ -49,12 +49,14 @@ func TestPredictHotPathAllocs(t *testing.T) {
 
 // TestInstrumentedPredictAllocs is the tentpole's acceptance gate: the
 // FULL per-request observability layer — trace-ID echo, per-route latency
-// histogram, access logging through the ring — must hold an exact
-// zero-allocation budget around the indexed predict handler when the
-// client supplies X-Request-Id. AllocsPerRun counts mallocs across all
-// goroutines, so the drain goroutine's log encoding is inside the budget
-// too. The TimeoutHandler stays excluded (net/http allocates internally);
-// the claim is about this project's code.
+// histogram, access logging through the ring, and span tracing (a valid
+// client X-Request-Id forces sampling, so every measured request records
+// a full span tree, publishes it to the trace store, and pushes a trace
+// summary) — must hold an exact zero-allocation budget around the indexed
+// predict handler. AllocsPerRun counts mallocs across all goroutines, so
+// the drain goroutine's log encoding is inside the budget too. The
+// TimeoutHandler stays excluded (net/http allocates internally); the
+// claim is about this project's code.
 func TestInstrumentedPredictAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("the race runtime defeats sync.Pool reuse on purpose; the budget only holds in normal builds")
@@ -82,6 +84,15 @@ func TestInstrumentedPredictAllocs(t *testing.T) {
 	}
 	if got := s.Metrics().Latency["predict"]; got.Count == 0 {
 		t.Fatal("predict histogram empty after instrumented runs")
+	}
+	// The gate must be measuring span recording, not a sampled-out no-op:
+	// the forced trace has to be in the store with its full span tree.
+	tr, ok := s.tracer.Store().Get("load-gen-7")
+	if !ok {
+		t.Fatal("forced-sample request left no stored trace — the alloc gate is not exercising span recording")
+	}
+	if len(tr.Spans) < 4 || tr.Spans[0].Name != "predict" {
+		t.Fatalf("stored trace missing handler spans: %+v", tr.Spans)
 	}
 }
 

@@ -18,6 +18,7 @@ const (
 	routeMetrics // the JSON /v1/metrics snapshot
 	routeProm    // the Prometheus /metrics exposition
 	routeReload  // the opt-in /v1/admin/reload artifact swap
+	routeTraces  // the /v1/traces span-trace store
 	routeOther
 	numRoutes
 )
@@ -25,7 +26,7 @@ const (
 // routeNames are the static route labels used in access logs, the JSON
 // latency map and the Prometheus route label. Static strings so recording
 // a request never allocates.
-var routeNames = [numRoutes]string{"predict", "query", "healthz", "motifs", "metrics", "prom", "reload", "other"}
+var routeNames = [numRoutes]string{"predict", "query", "healthz", "motifs", "metrics", "prom", "reload", "traces", "other"}
 
 // routeOf classifies a request path.
 func routeOf(path string) int {
@@ -44,7 +45,12 @@ func routeOf(path string) int {
 		return routeProm
 	case "/v1/admin/reload":
 		return routeReload
+	case "/v1/traces":
+		return routeTraces
 	default:
+		if len(path) > len("/v1/traces/") && path[:len("/v1/traces/")] == "/v1/traces/" {
+			return routeTraces
+		}
 		return routeOther
 	}
 }

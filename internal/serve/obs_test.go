@@ -72,8 +72,10 @@ func TestTraceIDEchoAndGeneration(t *testing.T) {
 	}
 }
 
-// TestAccessLogLines: each request produces one structured line carrying
-// its trace ID, route, status and duration, flushed by Close.
+// TestAccessLogLines: each request produces one structured access line
+// carrying its trace ID, route, status and duration, flushed by Close.
+// Predict requests with a client X-Request-Id are force-sampled, so they
+// additionally emit one trace-summary line under the same ID.
 func TestAccessLogLines(t *testing.T) {
 	var buf lockedBuffer
 	s, ts := obsTestServer(t, &buf)
@@ -84,27 +86,37 @@ func TestAccessLogLines(t *testing.T) {
 
 	out := buf.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("access log has %d lines, want 3:\n%s", len(lines), out)
-	}
-	type accessLine struct {
+	type logLine struct {
 		Msg    string `json:"msg"`
 		Trace  string `json:"trace"`
 		Method string `json:"method"`
 		Route  string `json:"route"`
+		Root   string `json:"root"`
+		Spans  int    `json:"spans"`
 		Status int    `json:"status"`
 		DurUs  int64  `json:"dur_us"`
 	}
-	byTrace := map[string]accessLine{}
+	byTrace := map[string]logLine{}
+	traceByID := map[string]logLine{}
 	for _, line := range lines {
-		var al accessLine
+		var al logLine
 		if err := json.Unmarshal([]byte(line), &al); err != nil {
-			t.Fatalf("access line is not valid JSON: %v (%q)", err, line)
+			t.Fatalf("log line is not valid JSON: %v (%q)", err, line)
 		}
-		if al.Msg != "access" || al.Method != "GET" {
-			t.Fatalf("unexpected access line: %+v", al)
+		switch al.Msg {
+		case "access":
+			if al.Method != "GET" {
+				t.Fatalf("unexpected access line: %+v", al)
+			}
+			byTrace[al.Trace] = al
+		case "trace":
+			traceByID[al.Trace] = al
+		default:
+			t.Fatalf("unexpected log line: %+v", al)
 		}
-		byTrace[al.Trace] = al
+	}
+	if len(byTrace) != 3 {
+		t.Fatalf("access log has %d request lines, want 3:\n%s", len(byTrace), out)
 	}
 	ok := byTrace["want-this-id"]
 	if ok.Route != "predict" || ok.Status != http.StatusOK {
@@ -116,6 +128,15 @@ func TestAccessLogLines(t *testing.T) {
 	}
 	if hz := byTrace["t-1"]; hz.Route != "healthz" {
 		t.Fatalf("healthz line missing or wrong: %+v", byTrace)
+	}
+	// Both predict requests carried valid client IDs, so both were force
+	// sampled: one trace-summary line each, same ID as the access line.
+	ts1 := traceByID["want-this-id"]
+	if ts1.Root != "predict" || ts1.Spans < 3 {
+		t.Fatalf("predict trace summary wrong: %+v", ts1)
+	}
+	if _, found := traceByID["want-err-id"]; !found {
+		t.Fatalf("error request missing its trace summary: %+v", traceByID)
 	}
 	if s.Metrics().AccessLogDropped != 0 {
 		t.Fatal("unloaded server dropped access records")

@@ -11,7 +11,8 @@ import (
 // histograms, one per route index.
 var promRouteLabels = [numRoutes]string{
 	`route="predict"`, `route="query"`, `route="healthz"`, `route="motifs"`,
-	`route="metrics"`, `route="prom"`, `route="reload"`, `route="other"`,
+	`route="metrics"`, `route="prom"`, `route="reload"`, `route="traces"`,
+	`route="other"`,
 }
 
 // promPlanLabels are the pre-rendered plan-kind label pairs for the
@@ -64,7 +65,11 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		if hs.Count == 0 {
 			continue
 		}
-		buf = obs.AppendPromHistogram(buf, "lamod_request_duration_seconds", promRouteLabels[route], hs)
+		if s.cfg.PromExemplars {
+			buf = obs.AppendPromHistogramExemplar(buf, "lamod_request_duration_seconds", promRouteLabels[route], hs, &s.exRoute[route])
+		} else {
+			buf = obs.AppendPromHistogram(buf, "lamod_request_duration_seconds", promRouteLabels[route], hs)
+		}
 	}
 
 	buf = obs.AppendPromHeader(buf, "lamod_query_duration_seconds", "histogram", "Bulk-plan execute+stream time by plan kind.")
@@ -73,7 +78,11 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		if hs.Count == 0 {
 			continue
 		}
-		buf = obs.AppendPromHistogram(buf, "lamod_query_duration_seconds", promPlanLabels[kind], hs)
+		if s.cfg.PromExemplars {
+			buf = obs.AppendPromHistogramExemplar(buf, "lamod_query_duration_seconds", promPlanLabels[kind], hs, &s.exPlan[kind])
+		} else {
+			buf = obs.AppendPromHistogram(buf, "lamod_query_duration_seconds", promPlanLabels[kind], hs)
+		}
 	}
 
 	var ms runtime.MemStats

@@ -85,6 +85,20 @@ type Config struct {
 	// X-Request-Id header (nil = a fresh "req"-prefixed source). Seeded
 	// sources make generated IDs deterministic in tests.
 	Trace *obs.TraceSource
+	// TraceSampleEvery selects span-trace head sampling: every Nth request
+	// records a full span tree into the trace store (0 = the obs default,
+	// 1 in 16). Negative disables head sampling — only forced requests
+	// (client X-Request-Id, X-Trace-Sample: 1, or a propagated
+	// X-Trace-Context) trace. Sampling never changes response bytes.
+	TraceSampleEvery int
+	// TraceStoreSize bounds the ring of finished traces served by
+	// GET /v1/traces (0 = the obs default, 256).
+	TraceStoreSize int
+	// PromExemplars opts the /metrics latency histograms into OpenMetrics
+	// exemplar annotations (`# {trace_id="..."} <seconds>` on the bucket
+	// holding the most recent traced sample). Off by default so the classic
+	// text exposition stays byte-compatible.
+	PromExemplars bool
 	// AllowReload mounts POST /v1/admin/reload: load a new artifact file
 	// read-only, verify its digest, and atomically flip the served model
 	// without dropping a request. Off by default — the endpoint lets a
@@ -162,6 +176,11 @@ type Server struct {
 	met       metrics
 	trace     *obs.TraceSource
 	access    *obs.AccessLog // nil when Config.Logger is nil
+	tracer    *obs.Tracer
+	// Most-recent-traced-sample cells for the /metrics exemplar rendering,
+	// one per request-latency histogram.
+	exRoute [numRoutes]obs.Exemplar
+	exPlan  [numPlanKinds]obs.Exemplar
 }
 
 // New builds a server over a loaded artifact. The artifact is shared
@@ -191,6 +210,7 @@ func New(art *artifact.Artifact, cfg Config) (*Server, error) {
 		flight: newFlightGroup(),
 		trace:  trace,
 		access: obs.NewAccessLog(cfg.Logger, cfg.AccessLogSize),
+		tracer: obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceStoreSize, cfg.Logger),
 	}
 	s.mdl.Store(m)
 	s.ready.Store(true)
@@ -256,10 +276,14 @@ func (s *Server) Reload(path, wantDigest string) (ReloadResult, error) {
 	return ReloadResult{Previous: prev.digest, Artifact: m.digest}, nil
 }
 
-// Close flushes and stops the access-log drain goroutine. Serve calls it
-// on shutdown; tests and embedders that never call Serve should close the
-// server themselves. Idempotent and safe on a logger-less server.
-func (s *Server) Close() { s.access.Close() }
+// Close flushes and stops the access-log and trace-summary drain
+// goroutines. Serve calls it on shutdown; tests and embedders that never
+// call Serve should close the server themselves. Idempotent and safe on a
+// logger-less server.
+func (s *Server) Close() {
+	s.access.Close()
+	s.tracer.Close()
+}
 
 // Handler returns the daemon's HTTP handler: its own ServeMux (never the
 // process-global one), instrumented, with the per-request deadline applied.
@@ -272,6 +296,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/motifs", s.handleMotifs)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/traces/", s.handleTraces)
 	mux.HandleFunc("/metrics", s.handleProm)
 	deadlined := http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
 	h := s.instrument(deadlined)
@@ -379,6 +405,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rec.idval[0] = id
 		w.Header()["X-Request-Id"] = rec.idval[:]
 		next.ServeHTTP(rec, r)
+		// A handler that mints a trace (head-sampled request with no usable
+		// client ID) overrides the echoed X-Request-Id; re-read the header
+		// so the access log carries the ID the trace is stored under. One
+		// constant-key map lookup — nothing on the 0-alloc path changes.
+		if vs := rec.Header()["X-Request-Id"]; len(vs) == 1 {
+			id = vs[0]
+		}
 		dur := time.Since(start)
 		route := routeOf(r.URL.Path)
 		s.met.requests.Add(1)
@@ -475,11 +508,14 @@ func parsePredictQuery(raw string, sc *scratch) (k string) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, r, "predict")
+	defer s.endTrace(tr, routePredict)
 	// One pointer load pins the whole model for this request: a concurrent
 	// reload flips the pointer for later requests, never mid-request.
 	m := s.mdl.Load()
 	sc := getScratch()
 	defer putScratch(sc)
+	parseSpan := tr.StartSpan(tr.Root(), "parse")
 	k := 0
 	switch r.Method {
 	case http.MethodGet:
@@ -526,7 +562,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		sc.ids = append(sc.ids, p)
 	}
+	tr.SetRows(parseSpan, int64(len(sc.proteins)), int64(len(sc.ids)))
+	tr.EndSpan(parseSpan)
 
+	rankSpan := tr.StartSpan(tr.Root(), "rank")
 	if cap(sc.rankings) < len(sc.ids) {
 		sc.rankings = make([][]predict.Ranked, len(sc.ids))
 	}
@@ -542,6 +581,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			sc.rankings[i] = rk
 		}
 		s.met.indexHits.Add(int64(len(sc.ids)))
+		tr.SetDetail(rankSpan, "index")
 	} else {
 		// Fallback (v1 artifact): score the batch on the worker pool; each
 		// slot is written only by its own index, so response order always
@@ -549,10 +589,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		par.Do(len(sc.ids), par.Workers(s.cfg.Parallelism), func(i int) {
 			sc.rankings[i] = s.scoreOne(m, sc.ids[i], k)
 		})
+		tr.SetDetail(rankSpan, "score")
 	}
 	s.met.predictions.Add(int64(len(sc.ids)))
+	tr.SetRows(rankSpan, int64(len(sc.ids)), int64(len(sc.ids)))
+	tr.EndSpan(rankSpan)
+	encodeSpan := tr.StartSpan(tr.Root(), "encode")
 	sc.buf = appendPredictResponse(sc.buf, m.digest, k, sc.proteins, sc.rankings, m.art.FunctionNames)
 	s.writeRaw(w, http.StatusOK, sc.buf)
+	tr.EndSpan(encodeSpan)
 }
 
 // handleQuery executes one bulk query plan (POST /v1/query). The plan
@@ -568,18 +613,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	tr := s.startTrace(w, r, "query")
+	defer s.endTrace(tr, routeQuery)
 	m := s.mdl.Load()
+	decodeSpan := tr.StartSpan(tr.Root(), "decode")
 	var plan query.Plan
 	if err := json.NewDecoder(r.Body).Decode(&plan); err != nil {
 		s.writeFieldError(w, http.StatusBadRequest, query.Errorf("body", "bad plan JSON: %v", err))
 		return
 	}
+	tr.EndSpan(decodeSpan)
 	start := time.Now()
-	res, fe := query.Execute(m.view, &plan, s.cfg.Parallelism)
+	execSpan := tr.StartSpan(tr.Root(), "execute")
+	// Operator stats are collected whenever the request is traced, even
+	// without "explain": true — the trace gets per-operator child spans
+	// either way; the response body gains the explain field only on request.
+	res, stats, fe := query.ExecuteStats(m.view, &plan, s.cfg.Parallelism, tr != nil)
 	if fe != nil {
 		s.writeFieldError(w, http.StatusBadRequest, fe)
 		return
 	}
+	tr.EndSpan(execSpan)
+	if tr != nil && stats != nil {
+		// Operator busy time is CPU occupancy summed across workers; spans
+		// carry it as the duration, anchored at the execute span's start.
+		for i := range stats.Ops {
+			o := &stats.Ops[i]
+			tr.AddSpan(execSpan, o.Op, "", start, time.Duration(o.BusyUS)*time.Microsecond, o.RowsIn, o.RowsOut)
+		}
+	}
+	streamSpan := tr.StartSpan(tr.Root(), "stream")
 	h := w.Header()
 	if _, ok := h["Content-Type"]; !ok {
 		h["Content-Type"] = contentTypeJSON
@@ -587,9 +650,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	// The client is gone if the stream fails; there is nowhere to report.
 	_, _ = res.WriteTo(w)
+	tr.SetRows(streamSpan, int64(res.RowCount()), int64(res.RowCount()))
+	tr.EndSpan(streamSpan)
 	s.met.queries.Add(1)
 	s.met.queryRows.Add(int64(res.RowCount()))
-	s.met.planLat[planKindIndex(res.Kind)].Record(time.Since(start))
+	d := time.Since(start)
+	s.met.planLat[planKindIndex(res.Kind)].Record(d)
+	if tr != nil {
+		s.exPlan[planKindIndex(res.Kind)].Set(tr.ID(), d.Microseconds())
+	}
 }
 
 // fieldErrorResponse is the structured validation-error body: a flat

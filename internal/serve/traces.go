@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lamofinder/internal/obs"
+)
+
+// Request tracing. Traces are created by the handlers themselves (not by
+// the instrument middleware): http.TimeoutHandler hands handlers a private
+// ResponseWriter with no Unwrap, so the middleware has no allocation-free
+// way to pass a per-request value through the deadlined chain — but the
+// request headers travel it untouched, and sampling plus trace identity
+// are pure functions of those headers.
+
+// startTrace decides sampling for one request and, when selected, checks
+// out a pooled trace whose root span is already open. Sampling is forced
+// by a valid client X-Request-Id, an X-Trace-Sample: 1 header, or a
+// propagated X-Trace-Context (the gateway already committed to the trace);
+// otherwise the deterministic 1-in-N head sampler decides. Returns nil
+// when unsampled — every obs recording method no-ops on nil, so callers
+// never branch.
+//
+// On the forced paths this function does not allocate (the alloc gate
+// measures it with a client-supplied ID). A head-sampled request with no
+// usable client ID mints one — that path allocates the ID string and a
+// fresh header slice, never the pooled recorder array: TimeoutHandler
+// copies the handler's header map into the outer one after the handler
+// returns, which can race a pooled array's next reuse but not a
+// per-request allocation.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, root string) *obs.Trace {
+	id := r.Header.Get("X-Request-Id")
+	forced := obs.ValidTraceID(id)
+	if !forced {
+		id = ""
+	}
+	remoteParent := obs.NoSpan
+	if tcID, parent, ok := obs.ParseTraceContext(r.Header.Get(obs.HeaderTraceContext)); ok {
+		id, remoteParent, forced = tcID, parent, true
+	}
+	if !forced && r.Header.Get(obs.HeaderTraceSample) == "1" {
+		forced = true
+	}
+	if !s.tracer.Sample(forced) {
+		return nil
+	}
+	if id == "" {
+		id = s.trace.Next()
+		// Overwrite the middleware's echoed ID so the client is told the ID
+		// its trace is stored under.
+		w.Header()["X-Request-Id"] = []string{id}
+	}
+	return s.tracer.Start(id, remoteParent, root)
+}
+
+// endTrace finishes a request trace and feeds the route's exemplar cell.
+// The ID is captured before Finish — the trace is pooled and must not be
+// read afterwards.
+//
+// alloc-budget: 0
+func (s *Server) endTrace(tr *obs.Trace, route int) {
+	if tr == nil {
+		return
+	}
+	id := tr.ID()
+	us := s.tracer.Finish(tr)
+	s.exRoute[route].Set(id, us)
+}
+
+// tracesResponse is the body of GET /v1/traces.
+type tracesResponse struct {
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+// handleTraces serves the trace store: GET /v1/traces lists recent traces
+// (newest first, optional ?n= cap), GET /v1/traces/{id} returns one full
+// span tree. Admin-timescale endpoints — they allocate freely.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces")
+	id = strings.TrimPrefix(id, "/")
+	if id == "" {
+		n := 0
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				s.writeError(w, http.StatusBadRequest, "n must be a non-negative integer, got %q", raw)
+				return
+			}
+			n = v
+		}
+		s.writeJSON(w, http.StatusOK, tracesResponse{Traces: s.tracer.Store().List(n)})
+		return
+	}
+	out, ok := s.tracer.Store().Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored trace %q (the store keeps the most recent %d sampled traces)", id, s.tracer.Store().Cap())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}

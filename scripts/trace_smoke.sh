@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — end-to-end gate for the span-tracing layer: a traced
+# /v1/predict against a single daemon must land in the trace store with
+# its parse/rank/encode child spans and surface through `lamoctl trace`
+# (JSON and -table tree); bulk-query output must stay byte-deterministic
+# with tracing available while `lamoctl query -explain` returns the
+# per-operator table; /metrics must carry an OpenMetrics trace-ID
+# exemplar under -exemplars; and a traced request through a 3-replica
+# fleet must yield ONE trace — gateway routing root, per-attempt upstream
+# spans, and the owning replica's handler spans merged in by ID. Run from
+# anywhere inside the repo; CI runs it after the unit suites.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+addr="127.0.0.1:${TRACE_SMOKE_PORT:-8085}"
+base_port="${TRACE_SMOKE_REPLICA_PORT:-8086}"
+gw_addr="127.0.0.1:${TRACE_SMOKE_GATEWAY_PORT:-8072}"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+    local server="$1" log="$2"
+    local up=0
+    for _ in $(seq 1 100); do
+        if "$workdir/lamoctl" health -server "$server" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [[ "$up" != 1 ]]; then
+        echo "$server never became healthy" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+echo "== build binaries"
+go build -o "$workdir/lamod" ./cmd/lamod
+go build -o "$workdir/lamoctl" ./cmd/lamoctl
+
+echo "== build artifact"
+"$workdir/lamod" build -quick -out "$workdir/model.lamoart" -note "trace smoke" >/dev/null
+
+echo "== serve with exemplars on $addr"
+"$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$addr" \
+    -exemplars -log-level warn >"$workdir/lamod.log" 2>&1 &
+pids+=("$!")
+wait_healthy "http://$addr" "$workdir/lamod.log"
+
+echo "== traced predict lands in the trace store"
+# A valid client X-Request-Id forces sampling; the daemon echoes it and
+# the same ID then fetches the span tree.
+"$workdir/lamoctl" predict -server "http://$addr" -trace smoke-predict-1 \
+    -protein M0000 -k 5 >/dev/null
+"$workdir/lamoctl" trace smoke-predict-1 -server "http://$addr" \
+    | tee "$workdir/trace.json"
+grep -q '"trace":"smoke-predict-1"' "$workdir/trace.json"
+for span in predict parse rank encode; do
+    grep -q "\"name\":\"$span\"" "$workdir/trace.json"
+done
+
+echo "== trace -table renders the span tree"
+"$workdir/lamoctl" trace smoke-predict-1 -table -server "http://$addr" \
+    | tee "$workdir/trace.txt"
+grep -q '^trace=smoke-predict-1 spans=' "$workdir/trace.txt"
+# Children are indented under the predict root.
+grep -Eq '^  (parse|rank|encode)' "$workdir/trace.txt"
+
+echo "== trace listing includes the request"
+"$workdir/lamoctl" trace -table -server "http://$addr" | tee "$workdir/list.txt"
+grep -q 'smoke-predict-1' "$workdir/list.txt"
+
+echo "== query bytes are deterministic; -explain adds the operator table"
+"$workdir/lamoctl" query -server "http://$addr" -topk 3 >"$workdir/q1.json"
+"$workdir/lamoctl" query -server "http://$addr" -topk 3 >"$workdir/q2.json"
+cmp "$workdir/q1.json" "$workdir/q2.json"
+if grep -q '"explain"' "$workdir/q1.json"; then
+    echo "plain query response unexpectedly carries an explain field" >&2
+    exit 1
+fi
+"$workdir/lamoctl" query -explain -server "http://$addr" -topk 3 \
+    | tee "$workdir/explain.txt"
+grep -q '^OP' "$workdir/explain.txt"
+grep -q '^scan' "$workdir/explain.txt"
+grep -q '^emit' "$workdir/explain.txt"
+grep -q 'wall_us=' "$workdir/explain.txt"
+
+echo "== /metrics carries a trace-ID exemplar"
+"$workdir/lamoctl" prom -server "http://$addr" >"$workdir/prom.txt"
+grep -q '# {trace_id="smoke-predict-1"}' "$workdir/prom.txt"
+
+echo "== start 3 replicas + gateway"
+replica_addrs=()
+for i in 0 1 2; do
+    raddr="127.0.0.1:$((base_port + i))"
+    replica_addrs+=("$raddr")
+    "$workdir/lamod" serve -artifact "$workdir/model.lamoart" -addr "$raddr" \
+        -log-level warn >"$workdir/replica$i.log" 2>&1 &
+    pids+=("$!")
+done
+for i in 0 1 2; do
+    wait_healthy "http://${replica_addrs[$i]}" "$workdir/replica$i.log"
+done
+replicas_csv="$(IFS=,; echo "${replica_addrs[*]}")"
+"$workdir/lamod" gateway -replicas "$replicas_csv" -addr "$gw_addr" \
+    -log-level warn >"$workdir/gateway.log" 2>&1 &
+pids+=("$!")
+wait_healthy "http://$gw_addr" "$workdir/gateway.log"
+
+echo "== one traced request, one cross-process trace"
+"$workdir/lamoctl" predict -server "http://$gw_addr" -trace fleet-trace-1 \
+    -protein M0000 -k 5 >/dev/null
+"$workdir/lamoctl" trace fleet-trace-1 -server "http://$gw_addr" \
+    | tee "$workdir/gw_trace.json"
+grep -q '"trace":"fleet-trace-1"' "$workdir/gw_trace.json"
+# Gateway side: routing root + the attempt span naming the upstream.
+grep -q '"name":"predict"' "$workdir/gw_trace.json"
+grep -q '"name":"attempt"' "$workdir/gw_trace.json"
+# Replica side, merged by ID: the owning replica's handler spans nest
+# under the gateway attempt via remote_parent.
+grep -q '"replicas":\[{"replica":"http://' "$workdir/gw_trace.json"
+grep -q '"remote_parent":' "$workdir/gw_trace.json"
+grep -q '"name":"rank"' "$workdir/gw_trace.json"
+
+echo "== gateway trace -table splices the replica tree under its attempt"
+"$workdir/lamoctl" trace fleet-trace-1 -table -server "http://$gw_addr" \
+    | tee "$workdir/gw_trace.txt"
+grep -q '^trace=fleet-trace-1 spans=' "$workdir/gw_trace.txt"
+grep -q 'attempt' "$workdir/gw_trace.txt"
+grep -q 'replica http://' "$workdir/gw_trace.txt"
+grep -q 'rank' "$workdir/gw_trace.txt"
+
+echo "trace smoke OK"
